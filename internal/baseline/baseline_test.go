@@ -1,0 +1,116 @@
+package baseline
+
+import (
+	"testing"
+
+	"a4sim/internal/cache"
+	"a4sim/internal/core"
+	"a4sim/internal/hierarchy"
+	"a4sim/internal/pcm"
+	"a4sim/internal/workload"
+)
+
+func newH(t *testing.T) *hierarchy.Hierarchy {
+	t.Helper()
+	return hierarchy.New(hierarchy.TestConfig(), pcm.NewFabric(1))
+}
+
+func TestApplyDefault(t *testing.T) {
+	h := newH(t)
+	// Dirty the state first.
+	if err := h.CAT().SetWayRange(1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.CAT().Associate(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	h.PCIe().SetPortDCA(0, false)
+	h.PCIe().SetGlobalDCA(false)
+
+	ApplyDefault(h)
+	if h.CAT().MaskOf(0) != cache.MaskAll(11) {
+		t.Errorf("Default must share the whole LLC")
+	}
+	if !h.PCIe().DCAActive(0) || !h.PCIe().DCAActive(1) {
+		t.Errorf("Default must enable DCA everywhere")
+	}
+}
+
+func infos(coreCounts ...int) []core.WorkloadInfo {
+	var out []core.WorkloadInfo
+	next := 0
+	for i, n := range coreCounts {
+		cores := make([]int, n)
+		for j := range cores {
+			cores[j] = next
+			next++
+		}
+		out = append(out, core.WorkloadInfo{
+			ID: pcm.WorkloadID(i), Name: "wl", Cores: cores,
+			Class: workload.ClassCompute, Port: -1, Priority: workload.LPW,
+		})
+	}
+	return out
+}
+
+func TestApplyIsolateProportional(t *testing.T) {
+	cfg := hierarchy.TestConfig()
+	cfg.NumCores = 8
+	h := hierarchy.New(cfg, pcm.NewFabric(1))
+	ws := infos(4, 2, 2) // proportional shares of 11 ways
+	ApplyIsolate(h, ws)
+
+	masks := make([]cache.WayMask, len(ws))
+	total := 0
+	for i, w := range ws {
+		masks[i] = h.CAT().MaskOf(w.Cores[0])
+		if masks[i] == 0 || !masks[i].Contiguous() {
+			t.Fatalf("workload %d mask %#x invalid", i, uint32(masks[i]))
+		}
+		total += masks[i].Count()
+		// Every core of a workload shares its CLOS.
+		for _, c := range w.Cores[1:] {
+			if h.CAT().MaskOf(c) != masks[i] {
+				t.Errorf("cores of workload %d disagree", i)
+			}
+		}
+	}
+	// Slices must be pairwise disjoint.
+	for i := 0; i < len(masks); i++ {
+		for j := i + 1; j < len(masks); j++ {
+			if masks[i]&masks[j] != 0 {
+				t.Errorf("masks %d and %d overlap: %#x & %#x", i, j, uint32(masks[i]), uint32(masks[j]))
+			}
+		}
+	}
+	// The 4-core workload gets the largest share.
+	if masks[0].Count() < masks[1].Count() {
+		t.Errorf("shares not proportional: %d vs %d ways", masks[0].Count(), masks[1].Count())
+	}
+	if total > 11 {
+		t.Errorf("assigned %d ways on an 11-way LLC", total)
+	}
+}
+
+func TestApplyIsolateMoreWorkloadsThanWays(t *testing.T) {
+	cfg := hierarchy.TestConfig()
+	cfg.NumCores = 16
+	h := hierarchy.New(cfg, pcm.NewFabric(1))
+	counts := make([]int, 13) // more workloads than ways
+	for i := range counts {
+		counts[i] = 1
+	}
+	ws := infos(counts...)
+	ApplyIsolate(h, ws)
+	for _, w := range ws {
+		m := h.CAT().MaskOf(w.Cores[0])
+		if m == 0 {
+			t.Fatalf("workload with empty mask")
+		}
+	}
+}
+
+func TestApplyIsolateEmpty(t *testing.T) {
+	h := newH(t)
+	ApplyIsolate(h, nil) // must not panic
+}

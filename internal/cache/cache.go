@@ -1,0 +1,339 @@
+// Package cache implements the generic set-associative cache array used by
+// both the private mid-level caches (MLCs) and the shared last-level cache
+// (LLC). It provides way-masked victim selection (the primitive beneath
+// Intel CAT and the DDIO way mask), LRU replacement, and per-line metadata
+// needed by the A4 reproduction: I/O origin, consumption status, and the
+// owning workload.
+package cache
+
+// LineFlags records per-line metadata bits.
+type LineFlags uint8
+
+const (
+	// FlagDirty marks a modified line that must be written back on eviction.
+	FlagDirty LineFlags = 1 << iota
+	// FlagIO marks a line whose data was DMA-written by an I/O device.
+	FlagIO
+	// FlagConsumed marks an I/O line that has been read by a CPU core since
+	// the last DMA write. An I/O line evicted before consumption is a DMA
+	// leak.
+	FlagConsumed
+	// FlagInclusive marks an LLC line that is simultaneously resident in at
+	// least one MLC (LLC-inclusive state); such lines may live only in the
+	// inclusive ways.
+	FlagInclusive
+)
+
+// Line is one cache line's tag and metadata. Addr is the full line address
+// (byte address >> 6); Valid distinguishes empty slots.
+type Line struct {
+	Addr  uint64
+	LRU   uint64
+	Owner int16 // workload ID that allocated the line, -1 if unknown
+	Port  int8  // PCIe port that DMA-wrote the line, -1 for CPU lines
+	Flags LineFlags
+	Valid bool
+}
+
+// Dirty reports whether the line is modified.
+func (l *Line) Dirty() bool { return l.Flags&FlagDirty != 0 }
+
+// IO reports whether the line was DMA-written.
+func (l *Line) IO() bool { return l.Flags&FlagIO != 0 }
+
+// Consumed reports whether an I/O line has been read by a core.
+func (l *Line) Consumed() bool { return l.Flags&FlagConsumed != 0 }
+
+// Inclusive reports whether the line is in the LLC-inclusive state.
+func (l *Line) Inclusive() bool { return l.Flags&FlagInclusive != 0 }
+
+// Set sets the given flag bits.
+func (l *Line) Set(f LineFlags) { l.Flags |= f }
+
+// Clear clears the given flag bits.
+func (l *Line) Clear(f LineFlags) { l.Flags &^= f }
+
+// WayMask selects a subset of ways for allocation; bit i enables way i.
+type WayMask uint32
+
+// MaskAll returns a mask enabling ways [0, n).
+func MaskAll(n int) WayMask { return WayMask(1<<uint(n)) - 1 }
+
+// MaskRange returns a mask enabling ways [lo, hi] inclusive.
+func MaskRange(lo, hi int) WayMask {
+	if hi < lo {
+		return 0
+	}
+	return (WayMask(1<<uint(hi-lo+1)) - 1) << uint(lo)
+}
+
+// Count returns the number of enabled ways.
+func (m WayMask) Count() int {
+	n := 0
+	for v := m; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// Has reports whether way w is enabled.
+func (m WayMask) Has(w int) bool { return m&(1<<uint(w)) != 0 }
+
+// Contiguous reports whether the enabled ways form one contiguous run.
+// Intel CAT requires contiguous capacity bitmasks.
+func (m WayMask) Contiguous() bool {
+	if m == 0 {
+		return false
+	}
+	v := uint32(m)
+	v >>= trailingZeros(v)
+	return v&(v+1) == 0
+}
+
+func trailingZeros(v uint32) uint {
+	var n uint
+	for v&1 == 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Cache is a set-associative array. It is not safe for concurrent use; the
+// simulation engine is single-threaded by design.
+type Cache struct {
+	sets    []Line // flattened [set][way]
+	ways    int
+	setMask uint64
+	stamp   uint64
+
+	// randPct makes victim selection imperfect: with probability
+	// randPct/100 the victim is drawn uniformly from the masked ways
+	// instead of strict LRU, approximating the quad-age PLRU of Skylake
+	// LLCs whose collateral evictions drive the latent contention of §3.1.
+	randPct int
+	rngs    uint64
+}
+
+// New constructs a cache with numSets sets (must be a power of two) and
+// ways ways.
+func New(numSets, ways int) *Cache {
+	if numSets <= 0 || numSets&(numSets-1) != 0 {
+		panic("cache: numSets must be a positive power of two")
+	}
+	if ways <= 0 || ways > 32 {
+		panic("cache: ways must be in [1, 32]")
+	}
+	return &Cache{
+		sets:    make([]Line, numSets*ways),
+		ways:    ways,
+		setMask: uint64(numSets - 1),
+	}
+}
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return len(c.sets) / c.ways }
+
+// SizeBytes returns the capacity in bytes assuming 64-byte lines.
+func (c *Cache) SizeBytes() int64 { return int64(len(c.sets)) * 64 }
+
+// SetIndex maps a line address to its set.
+func (c *Cache) SetIndex(addr uint64) int { return int(addr & c.setMask) }
+
+// SetVictimRandomness configures imperfect replacement: pct (0-100) is the
+// percentage of victim selections drawn uniformly from the masked ways
+// instead of LRU. seed feeds the internal generator.
+func (c *Cache) SetVictimRandomness(pct int, seed uint64) {
+	if pct < 0 {
+		pct = 0
+	}
+	if pct > 100 {
+		pct = 100
+	}
+	c.randPct = pct
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	c.rngs = seed
+}
+
+func (c *Cache) nextRand() uint64 {
+	c.rngs ^= c.rngs << 13
+	c.rngs ^= c.rngs >> 7
+	c.rngs ^= c.rngs << 17
+	return c.rngs
+}
+
+// set returns the slice of ways for the given set index.
+func (c *Cache) set(idx int) []Line {
+	base := idx * c.ways
+	return c.sets[base : base+c.ways]
+}
+
+// Lookup probes for addr and returns the line and its way, or (nil, -1).
+// A hit does not update LRU; call Touch for that.
+func (c *Cache) Lookup(addr uint64) (*Line, int) {
+	s := c.set(c.SetIndex(addr))
+	for w := range s {
+		if s[w].Valid && s[w].Addr == addr {
+			return &s[w], w
+		}
+	}
+	return nil, -1
+}
+
+// Touch marks the line most-recently-used.
+func (c *Cache) Touch(l *Line) {
+	c.stamp++
+	l.LRU = c.stamp
+}
+
+// Victim selects the allocation victim for addr among the ways enabled in
+// mask: an invalid way if one exists, otherwise the LRU line. It returns the
+// line slot and its way, or (nil, -1) if the mask is empty.
+func (c *Cache) Victim(addr uint64, mask WayMask) (*Line, int) {
+	s := c.set(c.SetIndex(addr))
+	var victim *Line
+	way := -1
+	nMasked := 0
+	for w := range s {
+		if !mask.Has(w) {
+			continue
+		}
+		nMasked++
+		if !s[w].Valid {
+			return &s[w], w
+		}
+		if victim == nil || s[w].LRU < victim.LRU {
+			victim = &s[w]
+			way = w
+		}
+	}
+	if victim != nil && c.randPct > 0 && int(c.nextRand()%100) < c.randPct {
+		// Imperfect replacement: pick the k-th masked way uniformly.
+		k := int(c.nextRand() % uint64(nMasked))
+		for w := range s {
+			if !mask.Has(w) {
+				continue
+			}
+			if k == 0 {
+				return &s[w], w
+			}
+			k--
+		}
+	}
+	return victim, way
+}
+
+// Insert allocates addr into the slot returned by Victim and returns a copy
+// of the evicted line (Valid=false copy when the slot was empty). The new
+// line is installed MRU with the given metadata.
+func (c *Cache) Insert(addr uint64, mask WayMask, owner int16, port int8, flags LineFlags) (evicted Line, way int) {
+	slot, w := c.Victim(addr, mask)
+	if slot == nil {
+		return Line{}, -1
+	}
+	evicted = *slot
+	c.stamp++
+	*slot = Line{
+		Addr:  addr,
+		LRU:   c.stamp,
+		Owner: owner,
+		Port:  port,
+		Flags: flags,
+		Valid: true,
+	}
+	return evicted, w
+}
+
+// Invalidate removes addr if present and returns a copy of the removed line.
+func (c *Cache) Invalidate(addr uint64) (Line, bool) {
+	if l, _ := c.Lookup(addr); l != nil {
+		old := *l
+		l.Valid = false
+		l.Flags = 0
+		return old, true
+	}
+	return Line{}, false
+}
+
+// InvalidateAll clears the whole cache.
+func (c *Cache) InvalidateAll() {
+	for i := range c.sets {
+		c.sets[i] = Line{}
+	}
+}
+
+// WayOf returns the way a resident addr occupies, or -1.
+func (c *Cache) WayOf(addr uint64) int {
+	_, w := c.Lookup(addr)
+	return w
+}
+
+// MoveToWay relocates a resident line to a victim slot among the ways in
+// mask within the same set (the O1 migration primitive). It returns the line
+// evicted from the destination slot. If the line already sits in an enabled
+// way, no move happens and evicted.Valid is false.
+func (c *Cache) MoveToWay(addr uint64, mask WayMask) (moved *Line, evicted Line) {
+	l, w := c.Lookup(addr)
+	if l == nil {
+		return nil, Line{}
+	}
+	if mask.Has(w) {
+		c.Touch(l)
+		return l, Line{}
+	}
+	saved := *l
+	l.Valid = false
+	l.Flags = 0
+	slot, _ := c.Victim(addr, mask)
+	if slot == nil {
+		// Destination mask empty: restore in place.
+		*l = saved
+		return l, Line{}
+	}
+	evicted = *slot
+	c.stamp++
+	saved.LRU = c.stamp
+	*slot = saved
+	return slot, evicted
+}
+
+// OccupancyByOwner counts valid lines per owner in the ways enabled by mask,
+// writing counts into out (keyed by owner ID); lines with owner -1 are
+// skipped. Used by way-occupancy statistics.
+func (c *Cache) OccupancyByOwner(mask WayMask, out map[int16]int) {
+	for i := range c.sets {
+		w := i % c.ways
+		if !mask.Has(w) {
+			continue
+		}
+		l := &c.sets[i]
+		if l.Valid && l.Owner >= 0 {
+			out[l.Owner]++
+		}
+	}
+}
+
+// CountValid returns the number of valid lines in the ways enabled by mask.
+func (c *Cache) CountValid(mask WayMask) int {
+	n := 0
+	for i := range c.sets {
+		if mask.Has(i%c.ways) && c.sets[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEach visits every valid line; mutate with care.
+func (c *Cache) ForEach(fn func(set, way int, l *Line)) {
+	for i := range c.sets {
+		if c.sets[i].Valid {
+			fn(i/c.ways, i%c.ways, &c.sets[i])
+		}
+	}
+}

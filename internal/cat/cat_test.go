@@ -1,0 +1,87 @@
+package cat
+
+import (
+	"testing"
+
+	"a4sim/internal/cache"
+)
+
+func TestDefaults(t *testing.T) {
+	a := New(4, 11)
+	if a.NumCores() != 4 || a.Ways() != 11 {
+		t.Fatalf("geometry wrong")
+	}
+	full := cache.MaskAll(11)
+	for c := 0; c < 4; c++ {
+		if a.CLOSOf(c) != 0 {
+			t.Errorf("core %d not in CLOS 0 at reset", c)
+		}
+		if a.MaskOf(c) != full {
+			t.Errorf("core %d mask not full at reset", c)
+		}
+	}
+}
+
+func TestSetMaskValidation(t *testing.T) {
+	a := New(2, 11)
+	if err := a.SetMask(1, 0); err == nil {
+		t.Errorf("empty mask must be rejected")
+	}
+	if err := a.SetMask(1, cache.MaskRange(0, 1)|cache.MaskRange(5, 6)); err == nil {
+		t.Errorf("non-contiguous mask must be rejected")
+	}
+	if err := a.SetMask(1, cache.MaskRange(9, 12)); err == nil {
+		t.Errorf("out-of-range mask must be rejected")
+	}
+	if err := a.SetMask(-1, cache.MaskRange(0, 1)); err == nil {
+		t.Errorf("negative CLOS must be rejected")
+	}
+	if err := a.SetMask(MaxCLOS, cache.MaskRange(0, 1)); err == nil {
+		t.Errorf("CLOS >= MaxCLOS must be rejected")
+	}
+	if err := a.SetMask(1, cache.MaskRange(2, 4)); err != nil {
+		t.Errorf("valid mask rejected: %v", err)
+	}
+	if a.Mask(1) != cache.MaskRange(2, 4) {
+		t.Errorf("mask not stored")
+	}
+	if a.Mask(-3) != 0 || a.Mask(99) != 0 {
+		t.Errorf("out-of-range Mask() should be 0")
+	}
+}
+
+func TestAssociate(t *testing.T) {
+	a := New(2, 11)
+	if err := a.Associate(0, 3); err != nil {
+		t.Fatalf("associate: %v", err)
+	}
+	if a.CLOSOf(0) != 3 {
+		t.Errorf("CLOSOf(0) = %d", a.CLOSOf(0))
+	}
+	if err := a.Associate(5, 1); err == nil {
+		t.Errorf("out-of-range core must be rejected")
+	}
+	if err := a.Associate(0, 99); err == nil {
+		t.Errorf("out-of-range CLOS must be rejected")
+	}
+	if a.CLOSOf(-1) != 0 || a.CLOSOf(9) != 0 {
+		t.Errorf("out-of-range CLOSOf should default to 0")
+	}
+}
+
+func TestSetWayRangeAndReset(t *testing.T) {
+	a := New(2, 11)
+	if err := a.SetWayRange(2, 9, 10); err != nil {
+		t.Fatalf("SetWayRange: %v", err)
+	}
+	if err := a.Associate(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if a.MaskOf(1) != cache.MaskRange(9, 10) {
+		t.Errorf("MaskOf(1) = %#x", uint32(a.MaskOf(1)))
+	}
+	a.Reset()
+	if a.CLOSOf(1) != 0 || a.Mask(2) != cache.MaskAll(11) {
+		t.Errorf("reset incomplete")
+	}
+}

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"testing"
+
+	"a4sim/internal/cache"
+	"a4sim/internal/hierarchy"
+	"a4sim/internal/pcm"
+	"a4sim/internal/sim"
+	"a4sim/internal/workload"
+)
+
+// rig drives the controller with hand-crafted samples, no simulation.
+type rig struct {
+	h       *hierarchy.Hierarchy
+	fabric  *pcm.Fabric
+	ctrl    *Controller
+	samples map[pcm.WorkloadID]pcm.Sample
+	memBW   float64
+	now     sim.Tick
+}
+
+func newRig(t *testing.T, cfg Config, infos []WorkloadInfo) *rig {
+	t.Helper()
+	f := pcm.NewFabric(1)
+	// Mirror the registration order expected by the infos.
+	for _, w := range infos {
+		if got := f.Register(w.Name); got != w.ID {
+			t.Fatalf("rig registration mismatch for %s: %d != %d", w.Name, got, w.ID)
+		}
+	}
+	hcfg := hierarchy.TestConfig()
+	hcfg.NumCores = 8
+	h := hierarchy.New(hcfg, f)
+	r := &rig{h: h, fabric: f, samples: map[pcm.WorkloadID]pcm.Sample{}}
+	r.ctrl = New(cfg, h, infos,
+		func() []pcm.Sample {
+			out := make([]pcm.Sample, 0, len(r.samples))
+			for _, s := range r.samples {
+				out = append(out, s)
+			}
+			return out
+		},
+		func() float64 { return r.memBW })
+	return r
+}
+
+func (r *rig) tick(n int) {
+	for i := 0; i < n; i++ {
+		r.now += sim.TicksPerSecond
+		r.ctrl.OnSecond(r.now)
+	}
+}
+
+func (r *rig) set(id pcm.WorkloadID, s pcm.Sample) {
+	s.ID = id
+	r.samples[id] = s
+}
+
+func twoWorkloads() []WorkloadInfo {
+	return []WorkloadInfo{
+		{ID: 0, Name: "hp", Cores: []int{0, 1}, Class: workload.ClassCompute, Port: -1, Priority: workload.HPW},
+		{ID: 1, Name: "lp", Cores: []int{2, 3}, Class: workload.ClassCompute, Port: -1, Priority: workload.LPW},
+	}
+}
+
+func TestInitialPartitionsModeA(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Features = VariantA
+	r := newRig(t, cfg, twoWorkloads())
+	// Without I/O HPWs, LP Zone starts at the two rightmost ways.
+	l, hi := r.ctrl.LPZone()
+	if l != 9 || hi != 10 {
+		t.Fatalf("initial LP zone [%d:%d], want [9:10]", l, hi)
+	}
+	// HPW mask is full; LPW mask is the LP zone.
+	if got := r.h.CAT().MaskOf(0); got != cache.MaskAll(11) {
+		t.Errorf("HPW mask %#x, want full", uint32(got))
+	}
+	if got := r.h.CAT().MaskOf(2); got != cache.MaskRange(9, 10) {
+		t.Errorf("LPW mask %#x, want [9:10]", uint32(got))
+	}
+}
+
+func TestLPZoneExpansionAndSettle(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Features = VariantA
+	r := newRig(t, cfg, twoWorkloads())
+	// Healthy HPW hit rates: expansion proceeds one way per 2 s.
+	r.set(0, pcm.Sample{LLCHitRate: 0.9})
+	r.set(1, pcm.Sample{LLCHitRate: 0.5})
+	r.tick(1) // init: reference capture
+	r.tick(2) // one expansion
+	if l, _ := r.ctrl.LPZone(); l != 8 {
+		t.Fatalf("LP zone left = %d after first expansion, want 8", l)
+	}
+	// Now the HPW degrades beyond T1 (20% relative): revert and settle.
+	r.set(0, pcm.Sample{LLCHitRate: 0.6})
+	r.tick(2)
+	if l, _ := r.ctrl.LPZone(); l != 9 {
+		t.Fatalf("LP zone left = %d after degradation, want reverted to 9", l)
+	}
+	if r.ctrl.State() != "settled" {
+		t.Fatalf("state = %s, want settled", r.ctrl.State())
+	}
+}
+
+func TestSafeguardingLayout(t *testing.T) {
+	infos := []WorkloadInfo{
+		{ID: 0, Name: "net", Cores: []int{0, 1}, Class: workload.ClassNetwork, Port: 0, Priority: workload.HPW},
+		{ID: 1, Name: "cpu", Cores: []int{2, 3}, Class: workload.ClassCompute, Port: -1, Priority: workload.HPW},
+		{ID: 2, Name: "lp", Cores: []int{4, 5}, Class: workload.ClassCompute, Port: -1, Priority: workload.LPW},
+	}
+	cfg := DefaultConfig()
+	cfg.Features = VariantB
+	r := newRig(t, cfg, infos)
+	// LP Zone starts at way[7:8], excluded from the inclusive ways.
+	if l, hi := r.ctrl.LPZone(); l != 7 || hi != 8 {
+		t.Fatalf("safeguarded LP zone [%d:%d], want [7:8]", l, hi)
+	}
+	// I/O HPW keeps the full mask (it may use the DCA Zone).
+	if got := r.h.CAT().MaskOf(0); got != cache.MaskAll(11) {
+		t.Errorf("I/O HPW mask %#x, want full", uint32(got))
+	}
+	// Non-I/O HPW is kept out of the DCA ways.
+	if got := r.h.CAT().MaskOf(2); got != cache.MaskRange(2, 10) {
+		t.Errorf("non-I/O HPW mask %#x, want [2:10]", uint32(got))
+	}
+	// LPW is confined to the LP zone.
+	if got := r.h.CAT().MaskOf(4); got != cache.MaskRange(7, 8) {
+		t.Errorf("LPW mask %#x, want [7:8]", uint32(got))
+	}
+}
+
+func storageInfos() []WorkloadInfo {
+	return []WorkloadInfo{
+		{ID: 0, Name: "net", Cores: []int{0, 1}, Class: workload.ClassNetwork, Port: 0, Priority: workload.HPW},
+		{ID: 1, Name: "fio", Cores: []int{2, 3}, Class: workload.ClassStorage, Port: 1, Priority: workload.LPW},
+	}
+}
+
+func TestStorageAntagonistDetection(t *testing.T) {
+	r := newRig(t, DefaultConfig(), storageInfos())
+	// FIO exhibits the three DMA-leak symptoms of §5.4.
+	r.set(0, pcm.Sample{Name: "net", LLCHitRate: 0.9, IOReadGBps: 10})
+	r.set(1, pcm.Sample{Name: "fio", LLCHitRate: 0.3, LLCMissRate: 0.7, DCAMissRate: 0.9, IOReadGBps: 12})
+	r.tick(2)
+	if !r.ctrl.IsDemoted(1) {
+		t.Fatalf("storage workload should be demoted")
+	}
+	if r.h.PCIe().DCAActive(1) {
+		t.Fatalf("SSD port DCA should be off")
+	}
+	if !r.h.PCIe().DCAActive(0) {
+		t.Fatalf("NIC port DCA must stay on")
+	}
+}
+
+func TestStorageDetectionRespectsThresholds(t *testing.T) {
+	r := newRig(t, DefaultConfig(), storageInfos())
+	// Low DCA miss rate: no demotion even with high share and misses.
+	r.set(0, pcm.Sample{LLCHitRate: 0.9, IOReadGBps: 1})
+	r.set(1, pcm.Sample{LLCHitRate: 0.3, LLCMissRate: 0.9, DCAMissRate: 0.1, IOReadGBps: 12})
+	r.tick(3)
+	if r.ctrl.IsDemoted(1) {
+		t.Fatalf("should not demote below T2")
+	}
+	// Low traffic share: no demotion.
+	r.set(1, pcm.Sample{LLCMissRate: 0.9, DCAMissRate: 0.9, IOReadGBps: 1})
+	r.set(0, pcm.Sample{LLCHitRate: 0.9, IOReadGBps: 50})
+	r.tick(3)
+	if r.ctrl.IsDemoted(1) {
+		t.Fatalf("should not demote below T3 share")
+	}
+}
+
+func TestNonIOAntagonistAndTrashShrink(t *testing.T) {
+	cfg := DefaultConfig()
+	infos := twoWorkloads()
+	r := newRig(t, cfg, infos)
+	healthy := pcm.Sample{LLCHitRate: 0.9, MLCMissRate: 0.2, LLCMissRate: 0.2}
+	r.set(0, healthy)
+	r.set(1, healthy)
+	// Let the LP zone search settle fully (expansion to minLeft).
+	r.tick(1 + 2*12)
+	if r.ctrl.State() != "settled" {
+		t.Fatalf("state = %s, want settled", r.ctrl.State())
+	}
+	// The LPW turns antagonistic (T5) with stable miss rates thereafter.
+	ant := pcm.Sample{LLCHitRate: 0.05, MLCMissRate: 0.95, LLCMissRate: 0.95}
+	r.set(1, ant)
+	r.memBW = 50
+	r.tick(1)
+	if !r.ctrl.IsAntagonist(1) {
+		t.Fatalf("LPW should be flagged as antagonist")
+	}
+	// With stability, trash ways shrink toward the terminal single way.
+	r.tick(40)
+	m := r.h.CAT().MaskOf(2)
+	if m.Count() > 2 {
+		t.Fatalf("trash mask should have shrunk to the terminal way, got %#x", uint32(m))
+	}
+}
+
+func TestAntagonistRestore(t *testing.T) {
+	r := newRig(t, DefaultConfig(), twoWorkloads())
+	healthy := pcm.Sample{LLCHitRate: 0.9, MLCMissRate: 0.2, LLCMissRate: 0.2}
+	r.set(0, healthy)
+	r.set(1, pcm.Sample{LLCHitRate: 0.02, MLCMissRate: 0.97, LLCMissRate: 0.97})
+	r.memBW = 50
+	r.tick(40) // settle + detect + shrink to terminal
+	if !r.ctrl.IsAntagonist(1) {
+		t.Fatalf("setup: LPW should be an antagonist")
+	}
+	// The antagonistic phase ends: miss rate collapses.
+	r.set(1, pcm.Sample{LLCHitRate: 0.8, MLCMissRate: 0.3, LLCMissRate: 0.2})
+	r.tick(3)
+	if r.ctrl.IsAntagonist(1) {
+		t.Fatalf("antagonist should be restored after recovery")
+	}
+}
+
+func TestRevertProbeCadence(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Features = VariantA
+	r := newRig(t, cfg, twoWorkloads())
+	r.set(0, pcm.Sample{LLCHitRate: 0.9})
+	r.set(1, pcm.Sample{LLCHitRate: 0.5})
+	r.tick(1 + 2*12) // settle at full expansion
+	if r.ctrl.State() != "settled" {
+		t.Fatalf("want settled, got %s", r.ctrl.State())
+	}
+	// Within the next stable interval a revert probe must appear, and it
+	// must end back in the settled state.
+	sawRevert := false
+	for i := 0; i < cfg.Timing.StableInterval+2; i++ {
+		r.tick(1)
+		if r.ctrl.State() == "reverting" {
+			sawRevert = true
+		}
+	}
+	if !sawRevert {
+		t.Fatalf("no revert probe within the stable interval")
+	}
+	r.tick(cfg.Timing.RevertSeconds + 1)
+	if r.ctrl.State() != "settled" {
+		t.Fatalf("want settled after probe, got %s", r.ctrl.State())
+	}
+}
+
+func TestOracleNeverReverts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Features = VariantA
+	cfg.Timing.Oracle = true
+	r := newRig(t, cfg, twoWorkloads())
+	r.set(0, pcm.Sample{LLCHitRate: 0.9})
+	r.set(1, pcm.Sample{LLCHitRate: 0.5})
+	r.tick(60)
+	if r.ctrl.State() == "reverting" {
+		t.Fatalf("oracle must never revert")
+	}
+}
+
+func TestNoFeaturesMeansNoProgramming(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Features = 0
+	r := newRig(t, cfg, twoWorkloads())
+	r.set(0, pcm.Sample{LLCHitRate: 0.9})
+	r.tick(5)
+	if got := r.h.CAT().MaskOf(2); got != cache.MaskAll(11) {
+		t.Errorf("feature-less controller must leave masks full")
+	}
+}
+
+func TestDefaultThresholdsMatchTable1(t *testing.T) {
+	th := DefaultThresholds()
+	if th.HPWLLCHitThr != 0.20 || th.DMALkDCAMsThr != 0.40 ||
+		th.DMALkIOTpThr != 0.35 || th.DMALkLLCMsThr != 0.40 || th.AntCacheMissThr != 0.90 {
+		t.Errorf("thresholds deviate from Table 1: %+v", th)
+	}
+	tm := DefaultTiming()
+	if tm.ExpandInterval != 2 || tm.StableInterval != 10 || tm.RevertSeconds != 1 {
+		t.Errorf("timing deviates from the paper: %+v", tm)
+	}
+}
+
+func TestVariantComposition(t *testing.T) {
+	if VariantA != FeatPriority {
+		t.Errorf("VariantA wrong")
+	}
+	if VariantD&FeatBypass == 0 || VariantD&FeatPriority == 0 {
+		t.Errorf("VariantD must include all features")
+	}
+	if VariantB&FeatDCAOff != 0 {
+		t.Errorf("VariantB must not include DCA-off")
+	}
+}
+
+func TestNetworkBloatExtension(t *testing.T) {
+	infos := []WorkloadInfo{
+		{ID: 0, Name: "net-hp", Cores: []int{0, 1}, Class: workload.ClassNetwork, Port: 0, Priority: workload.HPW},
+		{ID: 1, Name: "net-lp", Cores: []int{2, 3}, Class: workload.ClassNetwork, Port: 0, Priority: workload.LPW},
+	}
+	cfg := DefaultConfig()
+	cfg.Features = VariantExt
+	r := newRig(t, cfg, infos)
+	r.set(0, pcm.Sample{Name: "net-hp", LLCHitRate: 0.9, IOReadGBps: 10})
+	// The LPW network workload bloats heavily with terrible reuse.
+	r.set(1, pcm.Sample{Name: "net-lp", LLCHitRate: 0.05, LLCMissRate: 0.95,
+		MLCMissRate: 0.5, IOReadGBps: 5, DMABloats: 100000, DMALeaks: 1000})
+	r.tick(1 + 2*12) // settle the LP zone first
+	r.tick(2)
+	if !r.ctrl.IsAntagonist(1) {
+		t.Fatalf("bloating network LPW should be confined to trash ways")
+	}
+	// The HPW network workload must never be flagged by this extension.
+	if r.ctrl.IsAntagonist(0) {
+		t.Fatalf("network HPW wrongly flagged")
+	}
+	// Without the feature bit, nothing happens.
+	cfg2 := DefaultConfig()
+	r2 := newRig(t, cfg2, infos)
+	r2.set(0, pcm.Sample{LLCHitRate: 0.9, IOReadGBps: 10})
+	r2.set(1, pcm.Sample{LLCHitRate: 0.05, LLCMissRate: 0.95, MLCMissRate: 0.5,
+		IOReadGBps: 5, DMABloats: 100000, DMALeaks: 1000})
+	r2.tick(30)
+	if r2.ctrl.IsAntagonist(1) {
+		t.Fatalf("extension must be off in VariantD")
+	}
+}

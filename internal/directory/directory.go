@@ -1,0 +1,131 @@
+// Package directory models the snoop-filter directory of Intel Skylake-SP's
+// non-inclusive cache hierarchy, as reverse-engineered by Yan et al. (S&P'19)
+// and relied on by the A4 paper: 11 traditional directory ways track lines
+// resident in the LLC, and a 12-way extended directory tracks lines resident
+// in the private MLCs. Two ways are shared between the groups; those shared
+// entries are coupled one-to-one with the two "inclusive" LLC ways, which is
+// why LLC-inclusive lines (cached in both LLC and an MLC) can live only in
+// those two ways.
+//
+// The traditional directory is implicit in the LLC tag array; this package
+// implements the extended directory: which MLC holds which line. Evicting an
+// extended-directory entry back-invalidates the line from the owning MLC,
+// the mechanism behind directory-conflict attacks and part of why inclusive
+// ways are precious.
+package directory
+
+// Entry tracks one MLC-resident line.
+type Entry struct {
+	Addr  uint64
+	Core  int16
+	LRU   uint64
+	Valid bool
+}
+
+// Directory is the extended (MLC-tracking) directory. Sets are indexed by
+// the same hash as the LLC so directory pressure aligns with LLC sets.
+type Directory struct {
+	sets    []Entry // flattened [set][way]
+	ways    int
+	setMask uint64
+	stamp   uint64
+
+	// Hits/misses on directory lookups, for diagnostics.
+	BackInvalidations int64
+}
+
+// New constructs a directory with numSets sets (power of two) and ways
+// extended-directory ways (12 on Skylake-SP).
+func New(numSets, ways int) *Directory {
+	if numSets <= 0 || numSets&(numSets-1) != 0 {
+		panic("directory: numSets must be a positive power of two")
+	}
+	if ways <= 0 {
+		panic("directory: ways must be positive")
+	}
+	return &Directory{
+		sets:    make([]Entry, numSets*ways),
+		ways:    ways,
+		setMask: uint64(numSets - 1),
+	}
+}
+
+func (d *Directory) set(addr uint64) []Entry {
+	idx := int(addr&d.setMask) * d.ways
+	return d.sets[idx : idx+d.ways]
+}
+
+// Lookup returns the core holding addr in its MLC, or -1 if untracked.
+// Skylake MLCs are private and the simulator never shares a line across
+// MLCs, so a single owner suffices.
+func (d *Directory) Lookup(addr uint64) int {
+	s := d.set(addr)
+	for i := range s {
+		if s[i].Valid && s[i].Addr == addr {
+			return int(s[i].Core)
+		}
+	}
+	return -1
+}
+
+// Track records that core now holds addr in its MLC. If the directory set is
+// full, the LRU entry is evicted and returned so the caller can
+// back-invalidate the victim line from its MLC. ok is false when an eviction
+// occurred.
+func (d *Directory) Track(addr uint64, core int16) (victim Entry, evicted bool) {
+	s := d.set(addr)
+	var lru *Entry
+	for i := range s {
+		e := &s[i]
+		if e.Valid && e.Addr == addr {
+			// Ownership transfer (line moved between MLCs).
+			e.Core = core
+			d.stamp++
+			e.LRU = d.stamp
+			return Entry{}, false
+		}
+		if !e.Valid {
+			d.stamp++
+			*e = Entry{Addr: addr, Core: core, LRU: d.stamp, Valid: true}
+			return Entry{}, false
+		}
+		if lru == nil || e.LRU < lru.LRU {
+			lru = e
+		}
+	}
+	victim = *lru
+	d.stamp++
+	*lru = Entry{Addr: addr, Core: core, LRU: d.stamp, Valid: true}
+	d.BackInvalidations++
+	return victim, true
+}
+
+// Untrack removes addr from the directory (MLC eviction or invalidation).
+func (d *Directory) Untrack(addr uint64) {
+	s := d.set(addr)
+	for i := range s {
+		if s[i].Valid && s[i].Addr == addr {
+			s[i] = Entry{}
+			return
+		}
+	}
+}
+
+// Reset clears all entries.
+func (d *Directory) Reset() {
+	for i := range d.sets {
+		d.sets[i] = Entry{}
+	}
+	d.BackInvalidations = 0
+}
+
+// CountValid returns the number of tracked lines (for tests).
+func (d *Directory) CountValid() int {
+	n := 0
+	for i := range d.sets {
+		if d.sets[i].Valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,145 @@
+package figures
+
+import (
+	"fmt"
+
+	"a4sim/internal/harness"
+	"a4sim/internal/sim"
+	"a4sim/internal/workload"
+)
+
+// Ablations probe the modeling decisions documented in DESIGN.md §4: the
+// migration race split, the imperfect-LRU approximation, NIC burst shaping,
+// and the SSD parallelism window. Each reruns a motivation experiment under
+// variants of one knob so reviewers can see which reproduced effects depend
+// on which assumption.
+
+// AblationRegistry maps ablation IDs to generators, mirroring Registry.
+var AblationRegistry = map[string]func(Options) *Report{
+	"ab-migration": AblationMigrationRace,
+	"ab-plru":      AblationVictimRandomness,
+	"ab-burst":     AblationBurstShaping,
+	"ab-ssdpar":    AblationSSDParallelism,
+}
+
+// AblationIDs returns the ablation keys in presentation order.
+func AblationIDs() []string {
+	return []string{"ab-migration", "ab-plru", "ab-burst", "ab-ssdpar"}
+}
+
+// ablationFig3Point reruns one Fig. 3b point (DPDK-T at way[5:6], X-Mem at
+// way[xlo:xlo+1]) under the given parameters.
+func ablationFig3Point(p harness.Params, xlo int, warm, meas float64) *harness.Result {
+	s := harness.NewScenario(p)
+	d := s.AddDPDK("dpdk-t", []int{0, 1, 2, 3}, true, workload.HPW)
+	x := s.AddXMem("xmem", []int{4, 5}, defaultXMemWS, workload.Sequential, false, workload.HPW)
+	s.Start(harness.Default())
+	pin(s, 1, d.Cores(), 5, 6)
+	pin(s, 2, x.Cores(), xlo, xlo+1)
+	return s.Run(warm, meas)
+}
+
+// AblationMigrationRace sweeps MigrationStickPct: at 100 every consumed DMA
+// line migrates (directory contention only), at 0 every one takes the bloat
+// path (DMA bloat only). Fig. 3b needs both, which is why the default is 50.
+func AblationMigrationRace(o Options) *Report {
+	rep := &Report{
+		ID:    "ab-migration",
+		Title: "Ablation: migration race split vs. the two §3.1 contentions",
+	}
+	bloat := rep.AddSeries("xmem-miss@[5:6]")
+	dir := rep.AddSeries("xmem-miss@[9:10]")
+	warm, meas := o.windows(2, 3)
+	for i, stick := range []int{0, 50, 100} {
+		p := microParams(o)
+		p.Hierarchy.MigrationStickPct = stick
+		lbl := fmt.Sprintf("stick=%d%%", stick)
+		r1 := ablationFig3Point(p, 5, warm, meas)
+		r2 := ablationFig3Point(p, 9, warm, meas)
+		bloat.Add(lbl, float64(i), r1.W("xmem").LLCMissRate)
+		dir.Add(lbl, float64(i), r2.W("xmem").LLCMissRate)
+	}
+	return rep
+}
+
+// AblationVictimRandomness sweeps the QLRU-noise percentage. With perfect
+// LRU (0%) the latent contention against DPDK-T collapses because X-Mem's
+// hot lines are never collateral victims.
+func AblationVictimRandomness(o Options) *Report {
+	rep := &Report{
+		ID:    "ab-plru",
+		Title: "Ablation: imperfect-LRU percentage vs. latent contention",
+	}
+	latent := rep.AddSeries("xmem-miss@[0:1]")
+	clean := rep.AddSeries("xmem-miss@[3:4]")
+	warm, meas := o.windows(2, 3)
+	for i, pct := range []int{0, 10, 25} {
+		p := microParams(o)
+		p.Hierarchy.LLCVictimRandPct = pct
+		lbl := fmt.Sprintf("rand=%d%%", pct)
+		r1 := ablationFig3Point(p, 0, warm, meas)
+		r2 := ablationFig3Point(p, 3, warm, meas)
+		latent.Add(lbl, float64(i), r1.W("xmem").LLCMissRate)
+		clean.Add(lbl, float64(i), r2.W("xmem").LLCMissRate)
+	}
+	return rep
+}
+
+// AblationBurstShaping compares bursty vs. smooth packet arrivals. Smooth
+// arrivals drain rings almost instantly, hiding the queueing latencies the
+// paper measures in the hundreds of microseconds.
+func AblationBurstShaping(o Options) *Report {
+	rep := &Report{
+		ID:    "ab-burst",
+		Title: "Ablation: NIC burst shaping vs. network latency realism",
+	}
+	al := rep.AddSeries("net-avg-us")
+	tl := rep.AddSeries("net-p99-us")
+	warm, meas := o.windows(2, 3)
+	cases := []struct {
+		label  string
+		period sim.Tick
+	}{
+		{"bursty", 0 /* default shaping */},
+		{"smooth", -1 /* explicit smooth */},
+	}
+	for i, c := range cases {
+		p := microParams(o)
+		p.NICBurstPeriod = c.period
+		s := harness.NewScenario(p)
+		d := s.AddDPDK("dpdk-t", []int{0, 1, 2, 3}, true, workload.HPW)
+		s.Start(harness.Default())
+		pin(s, 1, d.Cores(), 4, 5)
+		res := s.Run(warm, meas)
+		al.Add(c.label, float64(i), res.W("dpdk-t").AvgLatUs)
+		tl.Add(c.label, float64(i), res.W("dpdk-t").P99LatUs)
+	}
+	return rep
+}
+
+// AblationSSDParallelism sweeps the array's internal concurrency window,
+// which sets where the DMA-leak onset falls on the block-size axis (Fig. 5).
+func AblationSSDParallelism(o Options) *Report {
+	rep := &Report{
+		ID:    "ab-ssdpar",
+		Title: "Ablation: SSD parallelism window vs. DMA-leak onset",
+	}
+	leak128 := rep.AddSeries("leak-rate@128KB")
+	leak512 := rep.AddSeries("leak-rate@512KB")
+	warm, meas := o.windows(2, 3)
+	run := func(p harness.Params, kb int) *harness.Result {
+		s := harness.NewScenario(p)
+		f := s.AddFIO("fio", []int{0, 1, 2, 3}, kb<<10, 32, workload.LPW)
+		s.Start(harness.Default())
+		pin(s, 1, f.Cores(), 2, 3)
+		return s.Run(warm, meas)
+	}
+	for i, par := range []int{8, 64} {
+		p := microParams(o)
+		p.SSDParallelism = par
+		lbl := fmt.Sprintf("par=%d", par)
+		leak128.Add(lbl, float64(i), run(p, 128).W("fio").LeakRate)
+		leak512.Add(lbl, float64(i), run(p, 512).W("fio").LeakRate)
+	}
+	return rep
+}

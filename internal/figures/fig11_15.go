@@ -1,0 +1,469 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+
+	"a4sim/internal/core"
+	"a4sim/internal/harness"
+	"a4sim/internal/workload"
+)
+
+// evalSchemes returns the manager set of §7: Default, Isolate, and the
+// cumulative A4 variants. Quick mode keeps the endpoints only.
+func evalSchemes(quick bool) []harness.ManagerSpec {
+	if quick {
+		return []harness.ManagerSpec{harness.Default(), harness.Isolate(), harness.A4(core.VariantD)}
+	}
+	return []harness.ManagerSpec{
+		harness.Default(),
+		harness.Isolate(),
+		harness.A4(core.VariantA),
+		harness.A4(core.VariantB),
+		harness.A4(core.VariantC),
+		harness.A4(core.VariantD),
+	}
+}
+
+// buildMicroEval constructs the §7.1 scenario: DPDK-T (HPW) + FIO (LPW) +
+// the three X-Mem instances of Table 3.
+func buildMicroEval(p harness.Params, blockKB int) *harness.Scenario {
+	s := harness.NewScenario(p)
+	s.AddDPDK("dpdk-t", []int{0, 1, 2, 3}, true, workload.HPW)
+	s.AddFIO("fio", []int{4, 5, 6, 7}, blockKB<<10, 32, workload.LPW)
+	s.AddXMem("xmem1", []int{8, 9}, 4<<20, workload.Sequential, false, workload.HPW)
+	s.AddXMem("xmem2", []int{10, 11}, 4<<20, workload.Sequential, true, workload.LPW)
+	s.AddXMem("xmem3", []int{12, 13}, 10<<20, workload.Random, false, workload.LPW)
+	return s
+}
+
+// microEvalNames lists the §7.1 workloads.
+var microEvalNames = []string{"dpdk-t", "fio", "xmem1", "xmem2", "xmem3"}
+
+// Fig11 reproduces Fig. 11: X-Mem IPC (normalized to the Default model at
+// the smallest packet size) and LLC hit rates across network packet sizes,
+// under Default, Isolate, and A4 (storage block size 2 MB).
+func Fig11(o Options) *Report {
+	rep := &Report{
+		ID:    "11",
+		Title: "X-Mem IPC and LLC hit rate vs. packet size (Default / Isolate / A4)",
+	}
+	warm, meas := o.windows(18, 4)
+	pkts := []int{64, 128, 256, 512, 1024, 1514}
+	if o.Quick {
+		pkts = []int{64, 1024}
+	}
+	schemes := evalSchemes(true) // Fig. 11 compares Default, Isolate, A4 only
+	// raw[scheme][xmem][pkt] = IPC
+	type key struct {
+		scheme, wl, pkt string
+	}
+	rawIPC := map[key]float64{}
+	rawHit := map[key]float64{}
+	for _, mgr := range schemes {
+		for _, pkt := range pkts {
+			p := microParams(o)
+			p.PacketBytes = pkt
+			s := buildMicroEval(p, 2048)
+			s.Start(mgr)
+			res := s.Run(warm, meas)
+			for _, wl := range []string{"xmem1", "xmem2", "xmem3"} {
+				rawIPC[key{mgr.Name(), wl, kbLabel(pkt / 1)}] = res.W(wl).IPC
+				rawHit[key{mgr.Name(), wl, kbLabel(pkt / 1)}] = res.W(wl).LLCHitRate
+			}
+		}
+	}
+	// Normalize IPC to Default at the smallest packet size, per X-Mem.
+	base := map[string]float64{}
+	for _, wl := range []string{"xmem1", "xmem2", "xmem3"} {
+		base[wl] = rawIPC[key{"default", wl, kbLabel(pkts[0])}]
+	}
+	for _, mgr := range schemes {
+		for _, wl := range []string{"xmem1", "xmem2", "xmem3"} {
+			ns := rep.AddSeries(fmt.Sprintf("perf-%s-%s", wl, mgr.Name()))
+			hs := rep.AddSeries(fmt.Sprintf("llchit-%s-%s", wl, mgr.Name()))
+			for _, pkt := range pkts {
+				k := key{mgr.Name(), wl, kbLabel(pkt)}
+				v := rawIPC[k]
+				if b := base[wl]; b > 0 {
+					v /= b
+				}
+				lbl := fmt.Sprintf("%dB", pkt)
+				ns.Add(lbl, float64(pkt), v)
+				hs.Add(lbl, float64(pkt), rawHit[k])
+			}
+		}
+	}
+	return rep
+}
+
+// Fig12 reproduces Fig. 12: network tail latency and read throughput vs.
+// storage block size under Default, Isolate, and A4 (packet size 1514 B).
+func Fig12(o Options) *Report {
+	rep := &Report{
+		ID:    "12",
+		Title: "Network latency/throughput vs. storage block size (Default / Isolate / A4)",
+	}
+	warm, meas := o.windows(18, 4)
+	blocks := []int{4, 16, 64, 128, 512, 2048}
+	if o.Quick {
+		blocks = []int{16, 128, 2048}
+	}
+	for _, mgr := range evalSchemes(true) {
+		tl := rep.AddSeries("net-p99-us-" + mgr.Name())
+		tp := rep.AddSeries("net-read-GBps-" + mgr.Name())
+		for _, kb := range blocks {
+			p := microParams(o)
+			p.PacketBytes = 1514
+			s := buildMicroEval(p, kb)
+			s.Start(mgr)
+			res := s.Run(warm, meas)
+			lbl := kbLabel(kb)
+			tl.Add(lbl, float64(kb), res.W("dpdk-t").P99LatUs)
+			tp.Add(lbl, float64(kb), res.PortInGBps["nic0"])
+		}
+	}
+	return rep
+}
+
+// realWorldMix describes one of the §7.2 co-location scenarios.
+type realWorldMix struct {
+	name  string
+	build func(s *harness.Scenario)
+	hpws  []string
+	lpws  []string
+}
+
+// hpwHeavyMix is Fig. 13a: 7 HPWs + 4 LPWs.
+func hpwHeavyMix() realWorldMix {
+	return realWorldMix{
+		name: "hpw-heavy",
+		build: func(s *harness.Scenario) {
+			s.AddFastclick([]int{0, 1, 2, 3}, workload.HPW)
+			s.AddRedisPair(4, 5, workload.HPW, workload.HPW)
+			s.AddSPEC("x264", 6, workload.HPW)
+			s.AddSPEC("parest", 7, workload.HPW)
+			s.AddSPEC("xalancbmk", 8, workload.HPW)
+			s.AddSPEC("lbm", 9, workload.HPW)
+			s.AddFFSB("ffsb-h", true, []int{10, 11, 12}, workload.LPW)
+			s.AddSPEC("omnetpp", 13, workload.LPW)
+			s.AddSPEC("exchange2", 14, workload.LPW)
+			s.AddSPEC("bwaves", 15, workload.LPW)
+		},
+		hpws: []string{"fastclick", "redis-s", "redis-c", "x264", "parest", "xalancbmk", "lbm"},
+		lpws: []string{"ffsb-h", "omnetpp", "exchange2", "bwaves"},
+	}
+}
+
+// lpwHeavyMix is Fig. 13b: 4 HPWs + 8 LPWs.
+func lpwHeavyMix() realWorldMix {
+	return realWorldMix{
+		name: "lpw-heavy",
+		build: func(s *harness.Scenario) {
+			s.AddFastclick([]int{0, 1, 2, 3}, workload.HPW)
+			s.AddFFSB("ffsb-l", false, []int{4}, workload.HPW)
+			s.AddSPEC("mcf", 5, workload.HPW)
+			s.AddSPEC("blender", 6, workload.HPW)
+			s.AddFFSB("ffsb-h", true, []int{7, 8, 9}, workload.LPW)
+			s.AddRedisPair(10, 11, workload.LPW, workload.LPW)
+			s.AddSPEC("x264", 12, workload.LPW)
+			s.AddSPEC("parest", 13, workload.LPW)
+			s.AddSPEC("fotonik3d", 14, workload.LPW)
+			s.AddSPEC("lbm", 15, workload.LPW)
+			s.AddSPEC("bwaves", 16, workload.LPW)
+		},
+		hpws: []string{"fastclick", "ffsb-l", "mcf", "blender"},
+		lpws: []string{"ffsb-h", "redis-s", "redis-c", "x264", "parest", "fotonik3d", "lbm", "bwaves"},
+	}
+}
+
+// runRealWorld executes one scheme over a mix and returns the result.
+func runRealWorld(o Options, mix realWorldMix, mgr harness.ManagerSpec, warm, meas float64) (*harness.Scenario, *harness.Result) {
+	s := harness.NewScenario(microParams(o))
+	mix.build(s)
+	s.Start(mgr)
+	res := s.Run(warm, meas)
+	return s, res
+}
+
+// perfMetric extracts the §7.2 performance metric: throughput (inverse of
+// latency per request) for multi-threaded network I/O, bytes/s for storage,
+// and progress (instruction) rate for compute workloads.
+func perfMetric(wr *harness.WorkloadResult) float64 {
+	if wr.Class == workload.ClassNetwork && wr.AvgLatUs > 0 {
+		return 1e6 / wr.AvgLatUs
+	}
+	return wr.ProgressRate
+}
+
+// geomean returns the geometric mean of vs, ignoring non-positive entries.
+func geomean(vs []float64) float64 {
+	var sum float64
+	n := 0
+	for _, v := range vs {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// fig13 runs one real-world scenario across all schemes.
+func fig13(o Options, mix realWorldMix, id string) *Report {
+	rep := &Report{
+		ID:    id,
+		Title: fmt.Sprintf("Real-world co-location (%s): relative performance vs. Default", mix.name),
+	}
+	warm, meas := o.windows(20, 5)
+	all := append(append([]string{}, mix.hpws...), mix.lpws...)
+
+	baseline := map[string]float64{}
+	for i, mgr := range evalSchemes(false) { // the variant progression is the figure's point
+		sc, res := runRealWorld(o, mix, mgr, warm, meas)
+		if i == 0 {
+			for _, wl := range all {
+				baseline[wl] = perfMetric(res.W(wl))
+			}
+		}
+		ps := rep.AddSeries("perf-" + mgr.Name())
+		var hpv, lpv, allv []float64
+		for j, wl := range all {
+			v := perfMetric(res.W(wl))
+			if b := baseline[wl]; b > 0 {
+				v /= b
+			} else {
+				v = 1
+			}
+			ps.Add(wl, float64(j), v)
+			allv = append(allv, v)
+			if j < len(mix.hpws) {
+				hpv = append(hpv, v)
+			} else {
+				lpv = append(lpv, v)
+			}
+		}
+		ps.Add("Avg(HP)", float64(len(all)), geomean(hpv))
+		ps.Add("Avg(LP)", float64(len(all)+1), geomean(lpv))
+		ps.Add("Avg(all)", float64(len(all)+2), geomean(allv))
+
+		if mgr.Kind == harness.ManagerA4 && mgr.A4.Features == core.VariantD {
+			hs := rep.AddSeries("llchit-" + mgr.Name())
+			for j, wl := range all {
+				hs.Add(wl, float64(j), res.W(wl).LLCHitRate)
+			}
+			if o.Verbose && sc.Controller != nil {
+				rep.Notes = append(rep.Notes, sc.Controller.Events...)
+			}
+			var ants []string
+			for _, w := range sc.Workloads {
+				if sc.Controller != nil && sc.Controller.IsAntagonist(w.ID()) {
+					ants = append(ants, w.Name())
+				}
+			}
+			rep.Notes = append(rep.Notes, fmt.Sprintf("a4-d antagonists: %v", ants))
+		}
+	}
+	return rep
+}
+
+// Fig13a reproduces Fig. 13a (HPW-heavy scenario).
+func Fig13a(o Options) *Report { return fig13(o, hpwHeavyMix(), "13a") }
+
+// Fig13b reproduces Fig. 13b (LPW-heavy scenario).
+func Fig13b(o Options) *Report { return fig13(o, lpwHeavyMix(), "13b") }
+
+// Fig14 reproduces Fig. 14: latency breakdowns and system-wide throughput
+// and memory bandwidth for the HPW-heavy scenario across schemes.
+func Fig14(o Options) *Report {
+	rep := &Report{
+		ID:    "14",
+		Title: "I/O latency breakdown and system-wide metrics (HPW-heavy)",
+	}
+	warm, meas := o.windows(20, 5)
+	mix := hpwHeavyMix()
+
+	netWait := rep.AddSeries("fastclick-wait-us")
+	netDesc := rep.AddSeries("fastclick-ptr-us")
+	netProc := rep.AddSeries("fastclick-proc-us")
+	stRead := rep.AddSeries("ffsbh-read-ms")
+	stProc := rep.AddSeries("ffsbh-regex-ms")
+	ioIn := rep.AddSeries("io-read-GBps")
+	ioOut := rep.AddSeries("io-write-GBps")
+	memRd := rep.AddSeries("mem-read-GBps")
+	memWr := rep.AddSeries("mem-write-GBps")
+
+	for i, mgr := range evalSchemes(false) {
+		_, res := runRealWorld(o, mix, mgr, warm, meas)
+		lbl := mgr.Name()
+		x := float64(i)
+		fc := res.W("fastclick")
+		netWait.Add(lbl, x, fc.WaitUs)
+		netDesc.Add(lbl, x, fc.DescUs)
+		netProc.Add(lbl, x, fc.ProcUs)
+		fh := res.W("ffsb-h")
+		stRead.Add(lbl, x, fh.ReadLatMs)
+		stProc.Add(lbl, x, fh.ProcLatMs)
+		var in, out float64
+		for _, v := range res.PortInGBps {
+			in += v
+		}
+		for _, v := range res.PortOutGBps {
+			out += v
+		}
+		ioIn.Add(lbl, x, in)
+		ioOut.Add(lbl, x, out)
+		memRd.Add(lbl, x, res.MemReadGBps)
+		memWr.Add(lbl, x, res.MemWriteGBps)
+	}
+	return rep
+}
+
+// fig15Run runs the HPW-heavy mix under one A4 configuration and returns
+// (HP, LP, all) geomean performance relative to the Default model.
+func fig15Run(o Options, cfg core.Config, warm, meas float64, baseline map[string]float64) (hp, lp, all float64) {
+	mix := hpwHeavyMix()
+	_, res := runRealWorld(o, mix, harness.A4With(cfg), warm, meas)
+	names := append(append([]string{}, mix.hpws...), mix.lpws...)
+	var hpv, lpv, allv []float64
+	for j, wl := range names {
+		v := perfMetric(res.W(wl))
+		if b := baseline[wl]; b > 0 {
+			v /= b
+		} else {
+			v = 1
+		}
+		allv = append(allv, v)
+		if j < len(mix.hpws) {
+			hpv = append(hpv, v)
+		} else {
+			lpv = append(lpv, v)
+		}
+	}
+	return geomean(hpv), geomean(lpv), geomean(allv)
+}
+
+// fig15Baseline measures the Default-model reference for the sensitivity
+// studies.
+func fig15Baseline(o Options, warm, meas float64) map[string]float64 {
+	mix := hpwHeavyMix()
+	_, res := runRealWorld(o, mix, harness.Default(), warm, meas)
+	base := map[string]float64{}
+	for _, wl := range append(append([]string{}, mix.hpws...), mix.lpws...) {
+		base[wl] = perfMetric(res.W(wl))
+	}
+	return base
+}
+
+// Fig15a reproduces Fig. 15a: sensitivity to the partitioning thresholds
+// T1 (HPW LLC hit) and T5 (antagonist miss).
+func Fig15a(o Options) *Report {
+	rep := &Report{ID: "15a", Title: "Sensitivity: partitioning thresholds T1 and T5"}
+	hpS := rep.AddSeries("avg-hp")
+	lpS := rep.AddSeries("avg-lp")
+	allS := rep.AddSeries("avg-all")
+	warm, meas := o.windows(20, 5)
+	base := fig15Baseline(o, warm, meas)
+
+	type pt struct {
+		label  string
+		t1, t5 float64
+	}
+	pts := []pt{
+		{"T5=95", 0.20, 0.95}, {"T5=90", 0.20, 0.90}, {"T5=80", 0.20, 0.80},
+		{"T1=30", 0.30, 0.90}, {"T1=20", 0.20, 0.90}, {"T1=10", 0.10, 0.90},
+	}
+	if o.Quick {
+		pts = []pt{{"T5=90", 0.20, 0.90}, {"T1=30", 0.30, 0.90}}
+	}
+	for i, c := range pts {
+		cfg := core.DefaultConfig()
+		cfg.Thresholds.HPWLLCHitThr = c.t1
+		cfg.Thresholds.AntCacheMissThr = c.t5
+		hp, lp, all := fig15Run(o, cfg, warm, meas, base)
+		hpS.Add(c.label, float64(i), hp)
+		lpS.Add(c.label, float64(i), lp)
+		allS.Add(c.label, float64(i), all)
+	}
+	return rep
+}
+
+// Fig15b reproduces Fig. 15b: sensitivity to the DMA-leak detection
+// thresholds T2 (DCA miss), T3 (I/O share), T4 (LLC miss). Raising any of
+// them past the workload's operating point stops FFSB-H from being detected.
+func Fig15b(o Options) *Report {
+	rep := &Report{ID: "15b", Title: "Sensitivity: antagonist detection thresholds T2-T4"}
+	hpS := rep.AddSeries("avg-hp")
+	lpS := rep.AddSeries("avg-lp")
+	allS := rep.AddSeries("avg-all")
+	warm, meas := o.windows(20, 5)
+	base := fig15Baseline(o, warm, meas)
+
+	type pt struct {
+		label      string
+		t2, t3, t4 float64
+	}
+	// FFSB-H operates at DCA miss ≈ 1.0 and LLC miss ≈ 1.0 with a large
+	// share of inbound PCIe traffic; each non-default row raises exactly one
+	// threshold past that operating point so detection ceases — the
+	// "critical thresholds" the paper marks in red.
+	pts := []pt{
+		{"40/35/40", 0.40, 0.35, 0.40}, // defaults (bold in the paper)
+		{"T2-off", 1.01, 0.35, 0.40},
+		{"T3-off", 0.40, 0.99, 0.40},
+		{"T4-off", 0.40, 0.35, 1.01},
+	}
+	if o.Quick {
+		pts = pts[:2]
+	}
+	for i, c := range pts {
+		cfg := core.DefaultConfig()
+		cfg.Thresholds.DMALkDCAMsThr = c.t2
+		cfg.Thresholds.DMALkIOTpThr = c.t3
+		cfg.Thresholds.DMALkLLCMsThr = c.t4
+		hp, lp, all := fig15Run(o, cfg, warm, meas, base)
+		hpS.Add(c.label, float64(i), hp)
+		lpS.Add(c.label, float64(i), lp)
+		allS.Add(c.label, float64(i), all)
+	}
+	return rep
+}
+
+// Fig15c reproduces Fig. 15c: sensitivity to the stable interval before
+// revert probes, including the oracle (no reverts).
+func Fig15c(o Options) *Report {
+	rep := &Report{ID: "15c", Title: "Sensitivity: stable interval vs. oracle"}
+	hpS := rep.AddSeries("avg-hp")
+	lpS := rep.AddSeries("avg-lp")
+	allS := rep.AddSeries("avg-all")
+	warm, meas := o.windows(20, 10)
+	base := fig15Baseline(o, warm, meas)
+
+	type pt struct {
+		label  string
+		stable int
+		oracle bool
+	}
+	pts := []pt{
+		{"1s", 1, false}, {"5s", 5, false}, {"10s", 10, false}, {"20s", 20, false}, {"oracle", 0, true},
+	}
+	if o.Quick {
+		pts = []pt{{"1s", 1, false}, {"10s", 10, false}, {"oracle", 0, true}}
+	}
+	for i, c := range pts {
+		cfg := core.DefaultConfig()
+		if c.oracle {
+			cfg.Timing.Oracle = true
+		} else {
+			cfg.Timing.StableInterval = c.stable
+		}
+		hp, lp, all := fig15Run(o, cfg, warm, meas, base)
+		hpS.Add(c.label, float64(i), hp)
+		lpS.Add(c.label, float64(i), lp)
+		allS.Add(c.label, float64(i), all)
+	}
+	return rep
+}

@@ -1,0 +1,338 @@
+package figures
+
+import (
+	"fmt"
+
+	"a4sim/internal/harness"
+	"a4sim/internal/workload"
+)
+
+// fig3Sweep runs the §3.1 way sweep: DPDK (touch or not) pinned to way[5:6]
+// while X-Mem's two ways slide from [0:1] to [9:10].
+func fig3Sweep(o Options, touch bool) *Report {
+	id, name := "3a", "DPDK-NT"
+	if touch {
+		id, name = "3b", "DPDK-T"
+	}
+	rep := &Report{
+		ID:    id,
+		Title: fmt.Sprintf("Contention between %s (way[5:6]) and X-Mem at way[m:n]", name),
+	}
+	xm := rep.AddSeries("xmem-llc-miss")
+	dm := rep.AddSeries("dpdk-llc-miss")
+	mr := rep.AddSeries("mem-read-GBps")
+	mw := rep.AddSeries("mem-write-GBps")
+	warm, meas := o.windows(2, 3)
+
+	positions := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if o.Quick {
+		positions = []int{0, 3, 5, 9}
+	}
+	for _, lo := range positions {
+		s := harness.NewScenario(microParams(o))
+		d := s.AddDPDK(name, []int{0, 1, 2, 3}, touch, workload.HPW)
+		x := s.AddXMem("xmem", []int{4, 5}, defaultXMemWS, workload.Sequential, false, workload.HPW)
+		s.Start(harness.Default())
+		pin(s, 1, d.Cores(), 5, 6)
+		pin(s, 2, x.Cores(), lo, lo+1)
+		res := s.Run(warm, meas)
+		lbl := wayLabel(lo, lo+1)
+		xpos := float64(lo)
+		xm.Add(lbl, xpos, res.W("xmem").LLCMissRate)
+		dm.Add(lbl, xpos, res.W(name).LLCMissRate)
+		mr.Add(lbl, xpos, res.MemReadGBps)
+		mw.Add(lbl, xpos, res.MemWriteGBps)
+	}
+	return rep
+}
+
+// Fig3a reproduces Fig. 3a: DPDK-NT (no touch) vs. X-Mem.
+func Fig3a(o Options) *Report { return fig3Sweep(o, false) }
+
+// Fig3b reproduces Fig. 3b: DPDK-T (touch) vs. X-Mem.
+func Fig3b(o Options) *Report { return fig3Sweep(o, true) }
+
+// Fig4 reproduces Fig. 4: validating the directory contention by toggling
+// DCA, with X-Mem at selected way groups and DPDK-T tail latency.
+func Fig4(o Options) *Report {
+	rep := &Report{
+		ID:    "4",
+		Title: "Directory-contention validation: DCA on vs. off",
+	}
+	xm := rep.AddSeries("xmem-llc-miss")
+	tl := rep.AddSeries("dpdk-p99-us")
+	warm, meas := o.windows(2, 3)
+
+	type cfg struct {
+		label string
+		xlo   int // -1 means X-Mem solo
+		dca   bool
+	}
+	cases := []cfg{
+		{"solo[9:10]", -1, true},
+		{"on[0:1]", 0, true}, {"on[3:4]", 3, true}, {"on[5:6]", 5, true}, {"on[9:10]", 9, true},
+		{"off[0:1]", 0, false}, {"off[3:4]", 3, false}, {"off[5:6]", 5, false}, {"off[9:10]", 9, false},
+	}
+	if o.Quick {
+		cases = []cfg{{"on[9:10]", 9, true}, {"off[9:10]", 9, false}}
+	}
+	for i, c := range cases {
+		s := harness.NewScenario(microParams(o))
+		var dpdk *workload.DPDK
+		if c.xlo >= 0 {
+			dpdk = s.AddDPDK("dpdk-t", []int{0, 1, 2, 3}, true, workload.HPW)
+		}
+		xlo := c.xlo
+		if xlo < 0 {
+			xlo = 9
+		}
+		x := s.AddXMem("xmem", []int{4, 5}, defaultXMemWS, workload.Sequential, false, workload.HPW)
+		s.Start(harness.Default())
+		if !c.dca {
+			s.H.PCIe().SetGlobalDCA(false)
+		}
+		if dpdk != nil {
+			pin(s, 1, dpdk.Cores(), 5, 6)
+		}
+		pin(s, 2, x.Cores(), xlo, xlo+1)
+		res := s.Run(warm, meas)
+		xm.Add(c.label, float64(i), res.W("xmem").LLCMissRate)
+		if dpdk != nil {
+			tl.Add(c.label, float64(i), res.W("dpdk-t").P99LatUs)
+		}
+	}
+	return rep
+}
+
+// fig5Blocks is the block-size sweep of Fig. 5 and Fig. 6.
+var fig5Blocks = []int{4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048}
+
+// Fig5 reproduces Fig. 5a: storage throughput and memory read bandwidth vs.
+// block size, DCA on and off, for FIO running alone.
+func Fig5(o Options) *Report {
+	rep := &Report{
+		ID:    "5",
+		Title: "Storage block size vs. throughput and memory bandwidth (FIO solo)",
+	}
+	tpOn := rep.AddSeries("storage-tp-dcaon")
+	tpOff := rep.AddSeries("storage-tp-dcaoff")
+	mrOn := rep.AddSeries("memrd-dcaon")
+	mrOff := rep.AddSeries("memrd-dcaoff")
+	leak := rep.AddSeries("leak-rate-dcaon")
+	warm, meas := o.windows(2, 3)
+
+	blocks := fig5Blocks
+	if o.Quick {
+		blocks = []int{4, 32, 128, 512, 2048}
+	}
+	for _, kb := range blocks {
+		for _, dca := range []bool{true, false} {
+			s := harness.NewScenario(microParams(o))
+			f := s.AddFIO("fio", []int{0, 1, 2, 3}, kb<<10, 32, workload.LPW)
+			s.Start(harness.Default())
+			if !dca {
+				s.H.PCIe().SetGlobalDCA(false)
+			}
+			pin(s, 1, f.Cores(), 2, 3)
+			res := s.Run(warm, meas)
+			lbl := kbLabel(kb)
+			if dca {
+				tpOn.Add(lbl, float64(kb), res.W("fio").IOReadGBps)
+				mrOn.Add(lbl, float64(kb), res.MemReadGBps)
+				leak.Add(lbl, float64(kb), res.W("fio").LeakRate)
+			} else {
+				tpOff.Add(lbl, float64(kb), res.W("fio").IOReadGBps)
+				mrOff.Add(lbl, float64(kb), res.MemReadGBps)
+			}
+		}
+	}
+	return rep
+}
+
+// Fig6 reproduces Fig. 6: DPDK-T latency and FIO throughput vs. storage
+// block size, with DCA on/off, plus the DPDK-T solo reference (Fig. 6b).
+func Fig6(o Options) *Report {
+	rep := &Report{
+		ID:    "6",
+		Title: "Impact of FIO on DPDK-T latency (DPDK-T way[4:5], FIO way[2:3])",
+	}
+	alOn := rep.AddSeries("net-avg-us-dcaon")
+	tlOn := rep.AddSeries("net-p99-us-dcaon")
+	alOff := rep.AddSeries("net-avg-us-dcaoff")
+	tpOn := rep.AddSeries("storage-tp-dcaon")
+	warm, meas := o.windows(2, 3)
+
+	blocks := fig5Blocks
+	if o.Quick {
+		blocks = []int{16, 64, 128, 512, 2048}
+	}
+	for _, kb := range blocks {
+		for _, dca := range []bool{true, false} {
+			s := harness.NewScenario(microParams(o))
+			d := s.AddDPDK("dpdk-t", []int{0, 1, 2, 3}, true, workload.HPW)
+			f := s.AddFIO("fio", []int{4, 5, 6, 7}, kb<<10, 32, workload.LPW)
+			s.Start(harness.Default())
+			if !dca {
+				s.H.PCIe().SetGlobalDCA(false)
+			}
+			pin(s, 1, f.Cores(), 2, 3)
+			pin(s, 2, d.Cores(), 4, 5)
+			res := s.Run(warm, meas)
+			lbl := kbLabel(kb)
+			if dca {
+				alOn.Add(lbl, float64(kb), res.W("dpdk-t").AvgLatUs)
+				tlOn.Add(lbl, float64(kb), res.W("dpdk-t").P99LatUs)
+				tpOn.Add(lbl, float64(kb), res.W("fio").IOReadGBps)
+			} else {
+				alOff.Add(lbl, float64(kb), res.W("dpdk-t").AvgLatUs)
+			}
+		}
+	}
+	// Fig. 6b: DPDK-T solo.
+	for _, dca := range []bool{true, false} {
+		s := harness.NewScenario(microParams(o))
+		d := s.AddDPDK("dpdk-t", []int{0, 1, 2, 3}, true, workload.HPW)
+		s.Start(harness.Default())
+		if !dca {
+			s.H.PCIe().SetGlobalDCA(false)
+		}
+		pin(s, 1, d.Cores(), 4, 5)
+		res := s.Run(warm, meas)
+		if dca {
+			alOn.Add("solo", -1, res.W("dpdk-t").AvgLatUs)
+			tlOn.Add("solo", -1, res.W("dpdk-t").P99LatUs)
+		} else {
+			alOff.Add("solo", -1, res.W("dpdk-t").AvgLatUs)
+		}
+	}
+	return rep
+}
+
+// Fig7 reproduces Fig. 7: n-Overlap vs. n-Exclude allocation strategies for
+// DPDK-T, comparing latency and memory bandwidth.
+func Fig7(o Options) *Report {
+	rep := &Report{
+		ID:    "7",
+		Title: "LLC allocation strategy: n ways Overlapping vs. Excluding inclusive ways",
+	}
+	al := rep.AddSeries("net-avg-us")
+	tl := rep.AddSeries("net-p99-us")
+	mr := rep.AddSeries("mem-read-GBps")
+	mw := rep.AddSeries("mem-write-GBps")
+	warm, meas := o.windows(2, 3)
+
+	type strat struct {
+		label  string
+		lo, hi int
+	}
+	ways := 11
+	var strategies []strat
+	ns := []int{2, 4, 6, 8}
+	if o.Quick {
+		ns = []int{2, 4}
+	}
+	for _, n := range ns {
+		// n-Overlap: the n rightmost ways, including the 2 inclusive ways.
+		strategies = append(strategies, strat{fmt.Sprintf("%dO", n), ways - n, ways - 1})
+		// n-Exclude: n ways immediately left of the inclusive ways.
+		if n <= ways-2 {
+			strategies = append(strategies, strat{fmt.Sprintf("%dE", n), ways - 2 - n, ways - 3})
+		}
+	}
+	for i, st := range strategies {
+		s := harness.NewScenario(microParams(o))
+		d := s.AddDPDK("dpdk-t", []int{0, 1, 2, 3}, true, workload.HPW)
+		s.Start(harness.Default())
+		pin(s, 1, d.Cores(), st.lo, st.hi)
+		res := s.Run(warm, meas)
+		al.Add(st.label, float64(i), res.W("dpdk-t").AvgLatUs)
+		tl.Add(st.label, float64(i), res.W("dpdk-t").P99LatUs)
+		mr.Add(st.label, float64(i), res.MemReadGBps)
+		mw.Add(st.label, float64(i), res.MemWriteGBps)
+	}
+	return rep
+}
+
+// Fig8a reproduces Fig. 8a: selectively disabling DCA for the SSD while
+// keeping it for the NIC, vs. both-on, across storage block sizes.
+func Fig8a(o Options) *Report {
+	rep := &Report{
+		ID:    "8a",
+		Title: "I/O device-aware DCA: [SSD-DCA off] vs. [DCA on]",
+	}
+	alOn := rep.AddSeries("net-avg-us-dcaon")
+	alOff := rep.AddSeries("net-avg-us-ssdoff")
+	tlOn := rep.AddSeries("net-p99-us-dcaon")
+	tlOff := rep.AddSeries("net-p99-us-ssdoff")
+	tpOff := rep.AddSeries("storage-tp-ssdoff")
+	warm, meas := o.windows(2, 3)
+
+	blocks := []int{16, 32, 64, 128, 256, 512}
+	if o.Quick {
+		blocks = []int{32, 128, 512}
+	}
+	for _, kb := range blocks {
+		for _, ssdDCA := range []bool{true, false} {
+			s := harness.NewScenario(microParams(o))
+			d := s.AddDPDK("dpdk-t", []int{0, 1, 2, 3}, true, workload.HPW)
+			f := s.AddFIO("fio", []int{4, 5, 6, 7}, kb<<10, 32, workload.LPW)
+			s.Start(harness.Default())
+			s.H.PCIe().SetPortDCA(harness.SSDPort, ssdDCA)
+			pin(s, 1, f.Cores(), 2, 3)
+			pin(s, 2, d.Cores(), 4, 5)
+			res := s.Run(warm, meas)
+			lbl := kbLabel(kb)
+			if ssdDCA {
+				alOn.Add(lbl, float64(kb), res.W("dpdk-t").AvgLatUs)
+				tlOn.Add(lbl, float64(kb), res.W("dpdk-t").P99LatUs)
+			} else {
+				alOff.Add(lbl, float64(kb), res.W("dpdk-t").AvgLatUs)
+				tlOff.Add(lbl, float64(kb), res.W("dpdk-t").P99LatUs)
+				tpOff.Add(lbl, float64(kb), res.W("fio").IOReadGBps)
+			}
+		}
+	}
+	return rep
+}
+
+// Fig8b reproduces Fig. 8b: shrinking FIO's standard ways under
+// [SSD-DCA off] while X-Mem holds way[2:5].
+func Fig8b(o Options) *Report {
+	rep := &Report{
+		ID:    "8b",
+		Title: "Trash-way narrowing: FIO ways [2:n] vs. X-Mem at way[2:5]",
+	}
+	xm := rep.AddSeries("xmem-llc-miss")
+	tp := rep.AddSeries("storage-tp")
+	// FIO needs a little longer to ramp 2 MB blocks into steady bloat.
+	warm, meas := o.windows(4, 4)
+
+	// The probe's working set nearly fills its four ways, as in the paper,
+	// so bloat from overlapping FIO ways translates directly into misses.
+	const fig8bWS = 8 << 20
+	his := []int{5, 4, 3, 2}
+	if o.Quick {
+		his = []int{5, 2}
+	}
+	for _, hi := range his {
+		s := harness.NewScenario(microParams(o))
+		f := s.AddFIO("fio", []int{0, 1, 2, 3}, 2<<20, 32, workload.LPW)
+		x := s.AddXMem("xmem", []int{4, 5}, fig8bWS, workload.Sequential, false, workload.HPW)
+		s.Start(harness.Default())
+		s.H.PCIe().SetPortDCA(harness.SSDPort, false)
+		pin(s, 1, f.Cores(), 2, hi)
+		pin(s, 2, x.Cores(), 2, 5)
+		res := s.Run(warm, meas)
+		lbl := wayLabel(2, hi)
+		xm.Add(lbl, float64(hi), res.W("xmem").LLCMissRate)
+		tp.Add(lbl, float64(hi), res.W("fio").IOReadGBps)
+	}
+	// X-Mem solo reference.
+	s := harness.NewScenario(microParams(o))
+	x := s.AddXMem("xmem", []int{4, 5}, fig8bWS, workload.Sequential, false, workload.HPW)
+	s.Start(harness.Default())
+	pin(s, 2, x.Cores(), 2, 5)
+	res := s.Run(warm, meas)
+	xm.Add("solo", 6, res.W("xmem").LLCMissRate)
+	return rep
+}

@@ -1,0 +1,211 @@
+// Package figures regenerates every figure of the paper's motivation (§3),
+// mitigation (§4), and evaluation (§7) sections on the simulated testbed.
+// Each Fig* function builds the corresponding scenario(s), runs them, and
+// returns a Report whose named series mirror the lines/bars of the figure.
+// The cmd/a4bench tool prints these reports; the root bench_test.go wraps
+// them in testing.B benchmarks; EXPERIMENTS.md records paper-vs-measured.
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"a4sim/internal/cache"
+	"a4sim/internal/harness"
+	"a4sim/internal/stats"
+	"a4sim/internal/workload"
+)
+
+// Options tune a figure run.
+type Options struct {
+	// Params overrides the scenario parameters; zero fields take defaults.
+	Params harness.Params
+	// Warmup and Measure override the per-figure run windows (simulated
+	// seconds); zero keeps the figure's default.
+	Warmup, Measure float64
+	// Quick trims sweep points and schemes for fast benchmarking.
+	Quick bool
+	// Verbose adds controller event notes to reports.
+	Verbose bool
+}
+
+func (o Options) windows(defWarm, defMeas float64) (float64, float64) {
+	w, m := defWarm, defMeas
+	if o.Warmup > 0 {
+		w = o.Warmup
+	}
+	if o.Measure > 0 {
+		m = o.Measure
+	}
+	if o.Quick {
+		w, m = w*0.6, m*0.6
+		if w < 1 {
+			w = 1
+		}
+		if m < 1 {
+			m = 1
+		}
+	}
+	return w, m
+}
+
+// Report is one regenerated figure: a set of named series over shared
+// x-axis labels.
+type Report struct {
+	ID     string
+	Title  string
+	Series []*stats.Series
+	Notes  []string
+}
+
+// AddSeries appends a named series and returns a pointer for Add calls.
+func (r *Report) AddSeries(name string) *stats.Series {
+	s := &stats.Series{Name: name}
+	r.Series = append(r.Series, s)
+	return s
+}
+
+// Get returns the series with the given name, or nil.
+func (r *Report) Get(name string) *stats.Series {
+	for _, s := range r.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Value returns the y value of series name at x label, or (0, false).
+func (r *Report) Value(name, label string) (float64, bool) {
+	s := r.Get(name)
+	if s == nil {
+		return 0, false
+	}
+	for _, p := range s.Points {
+		if p.Label == label {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// String renders the report as an aligned text table: one row per x label,
+// one column per series.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if len(r.Series) == 0 {
+		return b.String()
+	}
+	// Collect x labels from the longest series, preserving order.
+	var labels []string
+	seen := map[string]bool{}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			if !seen[p.Label] {
+				seen[p.Label] = true
+				labels = append(labels, p.Label)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%-14s", "x")
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, " %16s", trunc(s.Name, 16))
+	}
+	b.WriteByte('\n')
+	for _, lbl := range labels {
+		fmt.Fprintf(&b, "%-14s", lbl)
+		for _, s := range r.Series {
+			v, ok := findPoint(s, lbl)
+			if ok {
+				fmt.Fprintf(&b, " %16.4f", v)
+			} else {
+				fmt.Fprintf(&b, " %16s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func findPoint(s *stats.Series, label string) (float64, bool) {
+	for _, p := range s.Points {
+		if p.Label == label {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+// pin programs a contiguous CAT range for a workload's cores using a fresh
+// CLOS. The figures of §3-§4 set allocations manually, like the paper's
+// scripts do with intel-cmt-cat.
+func pin(s *harness.Scenario, clos int, cores []int, lo, hi int) {
+	if err := s.H.CAT().SetMask(clos, cache.MaskRange(lo, hi)); err != nil {
+		panic(err)
+	}
+	for _, c := range cores {
+		if err := s.H.CAT().Associate(c, clos); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// wayLabel formats an LLC way range like the paper's x axes.
+func wayLabel(lo, hi int) string { return fmt.Sprintf("[%d:%d]", lo, hi) }
+
+// kbLabel formats a block size.
+func kbLabel(kb int) string {
+	if kb >= 1024 {
+		return fmt.Sprintf("%dMB", kb/1024)
+	}
+	return fmt.Sprintf("%dKB", kb)
+}
+
+// Registry maps figure IDs to their generator functions.
+var Registry = map[string]func(Options) *Report{
+	"3a":  Fig3a,
+	"3b":  Fig3b,
+	"4":   Fig4,
+	"5":   Fig5,
+	"6":   Fig6,
+	"7":   Fig7,
+	"8a":  Fig8a,
+	"8b":  Fig8b,
+	"11":  Fig11,
+	"12":  Fig12,
+	"13a": Fig13a,
+	"13b": Fig13b,
+	"14":  Fig14,
+	"15a": Fig15a,
+	"15b": Fig15b,
+	"15c": Fig15c,
+}
+
+// IDs returns the registry keys in presentation order.
+func IDs() []string {
+	return []string{"3a", "3b", "4", "5", "6", "7", "8a", "8b", "11", "12", "13a", "13b", "14", "15a", "15b", "15c"}
+}
+
+// defaultXMemWS is the 4 MB working set of X-Mem 1/2 (Table 3).
+const defaultXMemWS = 4 << 20
+
+// microParams are the scenario parameters used by the §3/§4 figures.
+func microParams(o Options) harness.Params {
+	if o.Params.RateScale == 0 {
+		return harness.DefaultParams()
+	}
+	return o.Params
+}
+
+var _ = workload.HPW // referenced by sibling files

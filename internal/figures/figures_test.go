@@ -1,0 +1,126 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"a4sim/internal/stats"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	for _, id := range IDs() {
+		if _, ok := Registry[id]; !ok {
+			t.Errorf("figure %s missing from registry", id)
+		}
+	}
+	if len(Registry) != len(IDs()) {
+		t.Errorf("registry/IDs mismatch: %d vs %d", len(Registry), len(IDs()))
+	}
+}
+
+func TestReportAccessors(t *testing.T) {
+	r := &Report{ID: "x", Title: "test"}
+	s := r.AddSeries("a")
+	s.Add("p1", 1, 10)
+	s.Add("p2", 2, 20)
+	r.AddSeries("b").Add("p1", 1, 30)
+
+	if got := r.Get("a"); got == nil || len(got.Points) != 2 {
+		t.Fatalf("Get failed")
+	}
+	if r.Get("missing") != nil {
+		t.Fatalf("missing series should be nil")
+	}
+	if v, ok := r.Value("a", "p2"); !ok || v != 20 {
+		t.Fatalf("Value = %v %v", v, ok)
+	}
+	if _, ok := r.Value("a", "nope"); ok {
+		t.Fatalf("missing label should not be found")
+	}
+	if _, ok := r.Value("nope", "p1"); ok {
+		t.Fatalf("missing series should not be found")
+	}
+	out := r.String()
+	for _, want := range []string{"== x: test ==", "p1", "p2", "10.0000", "30.0000", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+	// Empty report renders the header only.
+	if got := (&Report{ID: "e", Title: "t"}).String(); !strings.Contains(got, "== e: t ==") {
+		t.Errorf("empty report header missing")
+	}
+}
+
+func TestLabelHelpers(t *testing.T) {
+	if wayLabel(2, 5) != "[2:5]" {
+		t.Errorf("wayLabel wrong")
+	}
+	if kbLabel(128) != "128KB" || kbLabel(2048) != "2MB" {
+		t.Errorf("kbLabel wrong: %s %s", kbLabel(128), kbLabel(2048))
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := geomean([]float64{1, 4}); g < 1.99 || g > 2.01 {
+		t.Errorf("geomean = %v, want 2", g)
+	}
+	if geomean(nil) != 0 || geomean([]float64{0, -1}) != 0 {
+		t.Errorf("degenerate geomean should be 0")
+	}
+}
+
+func TestFig4QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure generation is slow")
+	}
+	rep := Fig4(Options{Quick: true})
+	on, ok1 := rep.Value("xmem-llc-miss", "on[9:10]")
+	off, ok2 := rep.Value("xmem-llc-miss", "off[9:10]")
+	if !ok1 || !ok2 {
+		t.Fatalf("expected both DCA states in the report:\n%s", rep)
+	}
+	// The paper's validation: DCA off removes the directory contention.
+	if !(off < on-0.1) {
+		t.Errorf("directory contention should vanish with DCA off: on=%.3f off=%.3f", on, off)
+	}
+	p99on, _ := rep.Value("dpdk-p99-us", "on[9:10]")
+	p99off, _ := rep.Value("dpdk-p99-us", "off[9:10]")
+	if !(p99off > p99on) {
+		t.Errorf("DCA off should raise DPDK-T p99: on=%.1f off=%.1f", p99on, p99off)
+	}
+}
+
+func TestSeriesOrderPreserved(t *testing.T) {
+	var s stats.Series
+	for i := 0; i < 5; i++ {
+		s.Add("", float64(i), float64(i*i))
+	}
+	for i, p := range s.Points {
+		if p.X != float64(i) {
+			t.Fatalf("order lost at %d", i)
+		}
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	for i, tab := range []string{Table1(), Table2(), Table3()} {
+		if len(tab) < 50 || !strings.Contains(tab, "Table") {
+			t.Errorf("table %d too short or unlabeled:\n%s", i+1, tab)
+		}
+	}
+	if !strings.Contains(Table1(), "T1=20%") {
+		t.Errorf("Table 1 must show the paper's thresholds")
+	}
+	if !strings.Contains(Table2(), "x264") || !strings.Contains(Table3(), "X-Mem 3") {
+		t.Errorf("tables missing workloads")
+	}
+}
+
+func TestAblationRegistryComplete(t *testing.T) {
+	for _, id := range AblationIDs() {
+		if _, ok := AblationRegistry[id]; !ok {
+			t.Errorf("ablation %s missing from registry", id)
+		}
+	}
+}

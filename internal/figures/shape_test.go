@@ -1,0 +1,80 @@
+package figures
+
+import "testing"
+
+// Shape tests assert the qualitative paper results on trimmed (Quick)
+// figure runs: directions and orderings, not absolute values.
+
+func TestFig7OverlapBeatsExclude(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure generation is slow")
+	}
+	rep := Fig7(Options{Quick: true})
+	// O3: (n+2)-Overlap uses the same effective capacity as n-Exclude but
+	// with fewer conflict misses; memory traffic must not be higher.
+	mr2E, ok1 := rep.Value("mem-read-GBps", "2E")
+	mr4O, ok2 := rep.Value("mem-read-GBps", "4O")
+	if !ok1 || !ok2 {
+		t.Fatalf("missing strategies:\n%s", rep)
+	}
+	if mr4O > mr2E*1.15 {
+		t.Errorf("4-Overlap should not read more memory than 2-Exclude: %0.2f vs %0.2f", mr4O, mr2E)
+	}
+	al2E, _ := rep.Value("net-avg-us", "2E")
+	al4O, _ := rep.Value("net-avg-us", "4O")
+	if al4O > al2E*1.15 {
+		t.Errorf("4-Overlap latency should not exceed 2-Exclude: %0.1f vs %0.1f", al4O, al2E)
+	}
+}
+
+func TestFig8aSelectiveDCAOff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure generation is slow")
+	}
+	rep := Fig8a(Options{Quick: true})
+	// [SSD-DCA off] must lower network latency at large blocks without
+	// hurting storage throughput.
+	on, _ := rep.Value("net-avg-us-dcaon", "128KB")
+	off, _ := rep.Value("net-avg-us-ssdoff", "128KB")
+	if !(off < on*0.85) {
+		t.Errorf("SSD-DCA off should cut network latency at 128KB: on=%.1f off=%.1f", on, off)
+	}
+	tp, ok := rep.Value("storage-tp-ssdoff", "128KB")
+	if !ok || tp < 8 {
+		t.Errorf("storage throughput with SSD-DCA off looks wrong: %.2f GB/s", tp)
+	}
+}
+
+func TestFig8bTrashNarrowingHelps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure generation is slow")
+	}
+	rep := Fig8b(Options{Quick: true})
+	wide, _ := rep.Value("xmem-llc-miss", "[2:5]")
+	trash, _ := rep.Value("xmem-llc-miss", "[2:2]")
+	if !(trash < wide) {
+		t.Errorf("fewer FIO ways should lower X-Mem misses: [2:5]=%.3f [2:2]=%.3f", wide, trash)
+	}
+	tpWide, _ := rep.Value("storage-tp", "[2:5]")
+	tpTrash, _ := rep.Value("storage-tp", "[2:2]")
+	if tpWide > 0 && (tpTrash < tpWide*0.85 || tpTrash > tpWide*1.15) {
+		t.Errorf("FIO throughput should be way-insensitive: %.2f vs %.2f", tpWide, tpTrash)
+	}
+}
+
+func TestAblationMigrationRaceShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure generation is slow")
+	}
+	rep := AblationMigrationRace(Options{Quick: true})
+	bloat0, _ := rep.Value("xmem-miss@[5:6]", "stick=0%")
+	bloat100, _ := rep.Value("xmem-miss@[5:6]", "stick=100%")
+	dir0, _ := rep.Value("xmem-miss@[9:10]", "stick=0%")
+	dir100, _ := rep.Value("xmem-miss@[9:10]", "stick=100%")
+	if !(bloat0 > bloat100) {
+		t.Errorf("bloat should dominate at stick=0: %.3f vs %.3f", bloat0, bloat100)
+	}
+	if !(dir100 > dir0) {
+		t.Errorf("directory contention should dominate at stick=100: %.3f vs %.3f", dir100, dir0)
+	}
+}

@@ -1,0 +1,161 @@
+package harness
+
+import (
+	"testing"
+
+	"a4sim/internal/core"
+	"a4sim/internal/workload"
+)
+
+func TestDefaultParamsSane(t *testing.T) {
+	p := DefaultParams()
+	if p.RateScale <= 0 || p.NICGbps != 100 || p.SSDGBps != 13 {
+		t.Errorf("defaults changed unexpectedly: %+v", p)
+	}
+	if p.Hierarchy.LLC.Ways != 11 || p.Hierarchy.LLC.NumDCA != 2 || p.Hierarchy.LLC.NumInclusive != 2 {
+		t.Errorf("LLC geometry deviates from the testbed")
+	}
+	if p.Hierarchy.NumCores != 18 {
+		t.Errorf("core count deviates from the Xeon 6140")
+	}
+}
+
+func TestManagerNames(t *testing.T) {
+	cases := map[string]ManagerSpec{
+		"default": Default(),
+		"isolate": Isolate(),
+		"a4-a":    A4(core.VariantA),
+		"a4-b":    A4(core.VariantB),
+		"a4-c":    A4(core.VariantC),
+		"a4-d":    A4(core.VariantD),
+	}
+	for want, spec := range cases {
+		if got := spec.Name(); got != want {
+			t.Errorf("Name() = %q, want %q", got, want)
+		}
+	}
+	custom := A4With(core.Config{Features: core.FeatPriority | core.FeatBypass})
+	if custom.Name() != "a4" {
+		t.Errorf("custom feature set should be named a4, got %q", custom.Name())
+	}
+}
+
+func TestScenarioZeroParamsFilled(t *testing.T) {
+	s := NewScenario(Params{})
+	if s.P.RateScale != DefaultParams().RateScale {
+		t.Errorf("RateScale not defaulted")
+	}
+	if s.P.NICBurstPeriod <= 0 {
+		t.Errorf("burst period not defaulted")
+	}
+	// Negative period requests smooth arrivals.
+	s2 := NewScenario(Params{NICBurstPeriod: -1})
+	if s2.P.NICBurstPeriod != 0 {
+		t.Errorf("negative burst period should disable shaping")
+	}
+}
+
+func TestStartGuards(t *testing.T) {
+	s := NewScenario(Params{})
+	s.AddXMem("x", []int{0}, 1<<20, workload.Sequential, false, workload.HPW)
+	s.Start(Default())
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("double Start must panic")
+			}
+		}()
+		s.Start(Default())
+	}()
+	s2 := NewScenario(Params{})
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Run before Start must panic")
+		}
+	}()
+	s2.Run(0.1, 0.1)
+}
+
+func TestRegistrationInfos(t *testing.T) {
+	s := NewScenario(Params{})
+	d := s.AddDPDK("net", []int{0, 1}, true, workload.HPW)
+	f := s.AddFIO("disk", []int{2}, 64<<10, 8, workload.LPW)
+	x := s.AddXMem("cpu", []int{3}, 1<<20, workload.Random, false, workload.LPW)
+	if len(s.Infos) != 3 || len(s.Workloads) != 3 {
+		t.Fatalf("registration incomplete")
+	}
+	if s.Infos[0].Class != workload.ClassNetwork || s.Infos[0].Port != NICPort {
+		t.Errorf("network info wrong: %+v", s.Infos[0])
+	}
+	if s.Infos[1].Class != workload.ClassStorage || s.Infos[1].Port != SSDPort {
+		t.Errorf("storage info wrong: %+v", s.Infos[1])
+	}
+	if s.Infos[2].Class != workload.ClassCompute || s.Infos[2].Port != -1 {
+		t.Errorf("compute info wrong: %+v", s.Infos[2])
+	}
+	if d.ID() != s.Infos[0].ID || f.ID() != s.Infos[1].ID || x.ID() != s.Infos[2].ID {
+		t.Errorf("IDs mismatched")
+	}
+	// The NIC and SSD are created lazily, once.
+	if s.NIC == nil || s.SSD == nil {
+		t.Fatalf("devices missing")
+	}
+	if s.EnsureSSD() != s.SSD {
+		t.Errorf("EnsureSSD should be idempotent")
+	}
+}
+
+func TestMonitorWindowMetrics(t *testing.T) {
+	p := DefaultParams()
+	p.RateScale = 1024 // tiny rates: fast test
+	s := NewScenario(p)
+	s.AddXMem("x", []int{0, 1}, 1<<20, workload.Sequential, false, workload.HPW)
+	s.Start(Default())
+	res := s.Run(1, 2)
+	if res.Seconds != 2 {
+		t.Errorf("window length = %v, want 2", res.Seconds)
+	}
+	w := res.W("x")
+	if w.IPC <= 0 || w.ProgressRate <= 0 {
+		t.Errorf("metrics empty: %+v", w)
+	}
+	// Unknown workloads return a zero value, not nil.
+	if res.W("ghost") == nil || res.W("ghost").IPC != 0 {
+		t.Errorf("missing workload should yield zero result")
+	}
+}
+
+func TestRunResultsAreWindowed(t *testing.T) {
+	p := DefaultParams()
+	p.RateScale = 1024
+	s := NewScenario(p)
+	s.AddXMem("x", []int{0}, 1<<20, workload.Sequential, false, workload.HPW)
+	s.Start(Default())
+	r1 := s.Run(1, 1)
+	r2 := s.Run(0, 1)
+	// Consecutive windows measure comparable steady-state rates.
+	if r2.W("x").ProgressRate <= 0 {
+		t.Fatalf("second window empty")
+	}
+	ratio := r1.W("x").ProgressRate / r2.W("x").ProgressRate
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("windows wildly inconsistent: %v vs %v", r1.W("x").ProgressRate, r2.W("x").ProgressRate)
+	}
+}
+
+func TestIsolateManagerAssignsDisjointWays(t *testing.T) {
+	p := DefaultParams()
+	p.RateScale = 1024
+	s := NewScenario(p)
+	a := s.AddXMem("a", []int{0, 1}, 1<<20, workload.Sequential, false, workload.HPW)
+	b := s.AddXMem("b", []int{2}, 1<<20, workload.Sequential, false, workload.LPW)
+	s.Start(Isolate())
+	ma := s.H.CAT().MaskOf(a.Cores()[0])
+	mb := s.H.CAT().MaskOf(b.Cores()[0])
+	if ma&mb != 0 {
+		t.Errorf("isolate masks overlap: %#x %#x", uint32(ma), uint32(mb))
+	}
+	if ma.Count() < mb.Count() {
+		t.Errorf("2-core workload should get at least as many ways")
+	}
+}

@@ -1,0 +1,231 @@
+package harness
+
+import (
+	"a4sim/internal/pcm"
+	"a4sim/internal/sim"
+	"a4sim/internal/stats"
+	"a4sim/internal/workload"
+)
+
+// Monitor is the single per-second sampler. It owns the pcm delta stream
+// (so the A4 controller and the result collector see the same samples) and
+// accumulates measurement windows.
+type Monitor struct {
+	s *Scenario
+
+	last      []pcm.Sample
+	lastMemRd float64 // GB/s over the last second
+	lastMemWr float64
+
+	collecting bool
+	secs       int
+	acc        map[pcm.WorkloadID]*wlAccum
+	memRdSum   float64
+	memWrSum   float64
+	portInSum  map[string]float64
+	portOutSum map[string]float64
+
+	progressMark map[pcm.WorkloadID]int64
+}
+
+type wlAccum struct {
+	samples int
+	llcHit  float64
+	mlcMiss float64
+	llcMiss float64
+	dcaMiss float64
+	leak    float64
+	ipc     float64
+	ioRd    float64
+	ioWr    float64
+	leaks   int64
+	bloats  int64
+}
+
+// NewMonitor builds the sampler for a scenario.
+func NewMonitor(s *Scenario) *Monitor {
+	return &Monitor{s: s}
+}
+
+// Last returns the most recent per-second samples.
+func (m *Monitor) Last() []pcm.Sample { return m.last }
+
+// LastMemBW returns the last second's total memory bandwidth in GB/s.
+func (m *Monitor) LastMemBW() float64 { return m.lastMemRd + m.lastMemWr }
+
+// OnSecond implements sim.Observer.
+func (m *Monitor) OnSecond(now sim.Tick) {
+	m.last = m.s.Fabric.SampleAll(1)
+	rd, wr := m.s.H.Memory().DeltaBytes()
+	m.lastMemRd = m.s.Fabric.GBps(rd, 1)
+	m.lastMemWr = m.s.Fabric.GBps(wr, 1)
+
+	if !m.collecting {
+		// Keep port deltas drained so windows start clean.
+		for _, p := range m.s.H.PCIe().Ports() {
+			p.DeltaBytes()
+		}
+		return
+	}
+	m.secs++
+	m.memRdSum += m.lastMemRd
+	m.memWrSum += m.lastMemWr
+	for _, p := range m.s.H.PCIe().Ports() {
+		in, out := p.DeltaBytes()
+		m.portInSum[p.Name()] += m.s.Fabric.GBps(in, 1)
+		m.portOutSum[p.Name()] += m.s.Fabric.GBps(out, 1)
+	}
+	for _, smp := range m.last {
+		a := m.acc[smp.ID]
+		if a == nil {
+			a = &wlAccum{}
+			m.acc[smp.ID] = a
+		}
+		a.samples++
+		a.llcHit += smp.LLCHitRate
+		a.mlcMiss += smp.MLCMissRate
+		a.llcMiss += smp.LLCMissRate
+		a.dcaMiss += smp.DCAMissRate
+		a.leak += smp.LeakRate
+		a.ipc += smp.IPC
+		a.ioRd += smp.IOReadGBps
+		a.ioWr += smp.IOWriteGBps
+		a.leaks += smp.DMALeaks
+		a.bloats += smp.DMABloats
+	}
+}
+
+// BeginWindow starts a measurement window: progress marks are taken and
+// latency reservoirs reset.
+func (m *Monitor) BeginWindow() {
+	m.collecting = true
+	m.secs = 0
+	m.acc = make(map[pcm.WorkloadID]*wlAccum)
+	m.memRdSum, m.memWrSum = 0, 0
+	m.portInSum = make(map[string]float64)
+	m.portOutSum = make(map[string]float64)
+	m.progressMark = make(map[pcm.WorkloadID]int64)
+	for _, w := range m.s.Workloads {
+		m.progressMark[w.ID()] = w.Progress()
+		if d, ok := w.(*workload.DPDK); ok {
+			d.ResetLatency()
+		}
+		if f, ok := w.(*workload.FIO); ok {
+			f.ResetLatency()
+		}
+	}
+}
+
+// EndWindow closes the window and builds the result.
+func (m *Monitor) EndWindow() *Result {
+	m.collecting = false
+	secs := float64(m.secs)
+	if secs == 0 {
+		secs = 1
+	}
+	res := &Result{
+		Seconds:    secs,
+		Workloads:  make(map[string]*WorkloadResult),
+		PortInGBps: m.portInSum, PortOutGBps: m.portOutSum,
+		MemReadGBps:  m.memRdSum / secs,
+		MemWriteGBps: m.memWrSum / secs,
+	}
+	for k := range res.PortInGBps {
+		res.PortInGBps[k] /= secs
+	}
+	for k := range res.PortOutGBps {
+		res.PortOutGBps[k] /= secs
+	}
+	scale := m.s.P.RateScale
+	for _, w := range m.s.Workloads {
+		a := m.acc[w.ID()]
+		if a == nil || a.samples == 0 {
+			a = &wlAccum{samples: 1}
+		}
+		n := float64(a.samples)
+		wr := &WorkloadResult{
+			Name:         w.Name(),
+			Class:        w.Class(),
+			LLCHitRate:   a.llcHit / n,
+			MLCMissRate:  a.mlcMiss / n,
+			LLCMissRate:  a.llcMiss / n,
+			DCAMissRate:  a.dcaMiss / n,
+			LeakRate:     a.leak / n,
+			IPC:          a.ipc / n,
+			IOReadGBps:   a.ioRd / n,
+			IOWriteGBps:  a.ioWr / n,
+			DMALeaks:     a.leaks,
+			DMABloats:    a.bloats,
+			ProgressRate: float64(w.Progress()-m.progressMark[w.ID()]) / secs,
+		}
+		if d, ok := w.(*workload.DPDK); ok {
+			wr.AvgLatUs = d.Latency().Mean() / scale
+			wr.P99LatUs = d.Latency().P99() / scale
+			wait, desc, proc := d.LatencyBreakdown()
+			wr.WaitUs = wait.Mean() / scale
+			wr.DescUs = desc.Mean() / scale
+			wr.ProcUs = proc.Mean() / scale
+		}
+		if f, ok := w.(*workload.FIO); ok {
+			wr.ReadLatMs = f.ReadLatency().Mean() / scale / 1000
+			wr.ProcLatMs = f.ProcLatency().Mean() / scale / 1000
+		}
+		res.Workloads[w.Name()] = wr
+	}
+	return res
+}
+
+// Result is one measurement window's metrics.
+type Result struct {
+	Seconds   float64
+	Workloads map[string]*WorkloadResult
+
+	MemReadGBps  float64
+	MemWriteGBps float64
+	PortInGBps   map[string]float64 // device-to-host, by port name
+	PortOutGBps  map[string]float64
+}
+
+// WorkloadResult carries one workload's window metrics.
+type WorkloadResult struct {
+	Name  string
+	Class workload.Class
+
+	LLCHitRate  float64
+	MLCMissRate float64
+	LLCMissRate float64
+	DCAMissRate float64
+	LeakRate    float64
+	IPC         float64
+
+	IOReadGBps  float64
+	IOWriteGBps float64
+
+	// ProgressRate is work units per second (packets, bytes, instructions).
+	ProgressRate float64
+
+	// Network latency metrics (µs, real scale).
+	AvgLatUs float64
+	P99LatUs float64
+	WaitUs   float64
+	DescUs   float64
+	ProcUs   float64
+
+	// Storage latency metrics (ms, real scale).
+	ReadLatMs float64
+	ProcLatMs float64
+
+	DMALeaks  int64
+	DMABloats int64
+}
+
+// W returns a workload's result by name, or a zero value if missing.
+func (r *Result) W(name string) *WorkloadResult {
+	if w, ok := r.Workloads[name]; ok {
+		return w
+	}
+	return &WorkloadResult{Name: name}
+}
+
+// Fluct is re-exported for experiment code building stability checks.
+func Fluct(a, b float64) float64 { return stats.Fluctuation(a, b) }

@@ -1,0 +1,177 @@
+package hierarchy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"a4sim/internal/cache"
+	"a4sim/internal/llc"
+	"a4sim/internal/pcm"
+)
+
+// checkInvariants asserts the structural properties that must hold after
+// any sequence of operations:
+//
+//  1. every LLC-inclusive line sits in an inclusive way;
+//  2. no address appears twice in the LLC;
+//  3. every MLC-resident line is tracked by the extended directory with the
+//     correct owner core;
+//  4. no address appears in two different MLCs.
+func checkInvariants(t *testing.T, h *Hierarchy) {
+	t.Helper()
+	seen := map[uint64]bool{}
+	h.LLC().Array().ForEach(func(set, way int, l *cache.Line) {
+		if l.Inclusive() && h.LLC().RoleOf(way) != llc.RoleInclusive {
+			t.Fatalf("inclusive line %d in %v way %d", l.Addr, h.LLC().RoleOf(way), way)
+		}
+		if seen[l.Addr] {
+			t.Fatalf("address %d duplicated in LLC", l.Addr)
+		}
+		seen[l.Addr] = true
+	})
+	owners := map[uint64]int{}
+	for core := 0; core < h.Config().NumCores; core++ {
+		h.MLC(core).Array().ForEach(func(set, way int, l *cache.Line) {
+			if prev, dup := owners[l.Addr]; dup {
+				t.Fatalf("address %d in MLCs %d and %d", l.Addr, prev, core)
+			}
+			owners[l.Addr] = core
+			if got := h.Directory().Lookup(l.Addr); got != core {
+				t.Fatalf("directory tracks %d for addr %d, MLC copy in %d", got, l.Addr, core)
+			}
+		})
+	}
+}
+
+// TestInvariantsUnderRandomTraffic drives a random mix of CPU and DMA
+// operations and checks the structural invariants throughout.
+func TestInvariantsUnderRandomTraffic(t *testing.T) {
+	cfg := TestConfig()
+	cfg.LLCVictimRandPct = 10
+	cfg.MigrationStickPct = 50
+	f := pcm.NewFabric(1)
+	ids := []pcm.WorkloadID{f.Register("a"), f.Register("b")}
+	h := New(cfg, f)
+
+	op := func(kind, core, wl uint8, addr uint16) bool {
+		a := uint64(addr % 4096)
+		c := int(core) % h.Config().NumCores
+		w := ids[int(wl)%len(ids)]
+		switch kind % 6 {
+		case 0:
+			h.CPURead(c, w, a, false)
+		case 1:
+			h.CPURead(c, w, a, true)
+		case 2:
+			h.CPUWrite(c, w, a, false)
+		case 3:
+			h.DMAWrite(0, w, a)
+		case 4:
+			h.DMAWrite(1, w, a)
+		case 5:
+			h.DMARead(0, w, a)
+		}
+		return true
+	}
+	seq := func(kinds, cores, wls []uint8, addrs []uint16) bool {
+		n := len(kinds)
+		if len(cores) < n {
+			n = len(cores)
+		}
+		if len(wls) < n {
+			n = len(wls)
+		}
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		for i := 0; i < n; i++ {
+			op(kinds[i], cores[i], wls[i], addrs[i])
+		}
+		checkInvariants(t, h)
+		return true
+	}
+	if err := quick.Check(seq, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInvariantsWithDCAToggles mixes the per-port and global DCA knobs into
+// the traffic, which exercises the invalidation paths.
+func TestInvariantsWithDCAToggles(t *testing.T) {
+	cfg := TestConfig()
+	f := pcm.NewFabric(1)
+	id := f.Register("io")
+	h := New(cfg, f)
+	rngState := uint64(12345)
+	next := func() uint64 {
+		rngState ^= rngState << 13
+		rngState ^= rngState >> 7
+		rngState ^= rngState << 17
+		return rngState
+	}
+	for i := 0; i < 20000; i++ {
+		a := next() % 2048
+		switch next() % 8 {
+		case 0:
+			h.PCIe().SetPortDCA(int(next()%2), next()%2 == 0)
+		case 1:
+			h.PCIe().SetGlobalDCA(next()%2 == 0)
+		case 2, 3:
+			h.DMAWrite(int(next()%2), id, a)
+		case 4, 5:
+			h.CPURead(int(next()%uint64(h.Config().NumCores)), id, a, true)
+		case 6:
+			h.CPUWrite(int(next()%uint64(h.Config().NumCores)), id, a, false)
+		case 7:
+			h.DMARead(int(next()%2), id, a)
+		}
+	}
+	checkInvariants(t, h)
+}
+
+// TestConservationOfCounters checks that hit/miss counters account exactly
+// one event per access.
+func TestConservationOfCounters(t *testing.T) {
+	cfg := TestConfig()
+	cfg.LLCVictimRandPct = 0
+	f := pcm.NewFabric(1)
+	id := f.Register("wl")
+	h := New(cfg, f)
+	const N = 5000
+	rng := uint64(99)
+	for i := 0; i < N; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		h.CPURead(int(rng%4), id, rng%1024, false)
+	}
+	c := f.C(id)
+	if c.MLCHits.Total()+c.MLCMisses.Total() != N {
+		t.Fatalf("MLC events %d+%d != %d", c.MLCHits.Total(), c.MLCMisses.Total(), N)
+	}
+	if c.LLCHits.Total()+c.LLCMisses.Total() != c.MLCMisses.Total() {
+		t.Fatalf("LLC events %d+%d != MLC misses %d",
+			c.LLCHits.Total(), c.LLCMisses.Total(), c.MLCMisses.Total())
+	}
+}
+
+// TestMemoryTrafficOnlyOnMissesOrWritebacks: a working set that fits in one
+// MLC generates memory reads only for compulsory misses.
+func TestMemoryTrafficOnlyOnMissesOrWritebacks(t *testing.T) {
+	cfg := TestConfig()
+	f := pcm.NewFabric(1)
+	id := f.Register("wl")
+	h := New(cfg, f)
+	ws := uint64(64) // lines, far below MLC capacity
+	for pass := 0; pass < 10; pass++ {
+		for a := uint64(0); a < ws; a++ {
+			h.CPURead(0, id, a, false)
+		}
+	}
+	if got := h.Memory().ReadBytes(); got != int64(ws)*64 {
+		t.Fatalf("memory reads = %d bytes, want exactly %d (compulsory only)", got, ws*64)
+	}
+	if h.Memory().WriteBytes() != 0 {
+		t.Fatalf("clean working set should write nothing back")
+	}
+}

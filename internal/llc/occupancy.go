@@ -1,0 +1,70 @@
+package llc
+
+import "a4sim/internal/cache"
+
+// Occupancy is a per-role snapshot of who holds the LLC's lines, the view
+// the paper's analysis figures are built from: how many lines each workload
+// holds in the DCA ways, the standard ways, and the inclusive ways, plus how
+// much of each region holds unconsumed I/O data.
+type Occupancy struct {
+	// ByOwner[role][owner] counts valid lines per workload per region.
+	ByOwner map[WayRole]map[int16]int
+	// IOLines[role] counts DMA-written lines per region.
+	IOLines map[WayRole]int
+	// UnconsumedIO[role] counts DMA-written lines not yet read by a core
+	// (the population at risk of DMA leak).
+	UnconsumedIO map[WayRole]int
+	// Valid[role] counts valid lines per region.
+	Valid map[WayRole]int
+	// Capacity[role] is the total number of slots per region.
+	Capacity map[WayRole]int
+}
+
+// Snapshot walks the array once and builds the occupancy view.
+func (l *LLC) Snapshot() *Occupancy {
+	o := &Occupancy{
+		ByOwner:      map[WayRole]map[int16]int{},
+		IOLines:      map[WayRole]int{},
+		UnconsumedIO: map[WayRole]int{},
+		Valid:        map[WayRole]int{},
+		Capacity:     map[WayRole]int{},
+	}
+	for _, role := range []WayRole{RoleDCA, RoleStandard, RoleInclusive} {
+		o.ByOwner[role] = map[int16]int{}
+	}
+	g := l.geom
+	o.Capacity[RoleDCA] = g.Sets * g.NumDCA
+	o.Capacity[RoleInclusive] = g.Sets * g.NumInclusive
+	o.Capacity[RoleStandard] = g.Sets * (g.Ways - g.NumDCA - g.NumInclusive)
+
+	l.arr.ForEach(func(set, way int, line *cache.Line) {
+		role := l.RoleOf(way)
+		o.Valid[role]++
+		if line.Owner >= 0 {
+			o.ByOwner[role][line.Owner]++
+		}
+		if line.IO() {
+			o.IOLines[role]++
+			if !line.Consumed() {
+				o.UnconsumedIO[role]++
+			}
+		}
+	})
+	return o
+}
+
+// Utilization returns the valid fraction of a region, in [0, 1].
+func (o *Occupancy) Utilization(role WayRole) float64 {
+	if o.Capacity[role] == 0 {
+		return 0
+	}
+	return float64(o.Valid[role]) / float64(o.Capacity[role])
+}
+
+// IOShare returns the fraction of a region's valid lines holding I/O data.
+func (o *Occupancy) IOShare(role WayRole) float64 {
+	if o.Valid[role] == 0 {
+		return 0
+	}
+	return float64(o.IOLines[role]) / float64(o.Valid[role])
+}

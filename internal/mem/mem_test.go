@@ -1,0 +1,62 @@
+package mem
+
+import "testing"
+
+func TestControllerAccounting(t *testing.T) {
+	c := New()
+	c.ReadLine()
+	c.ReadLine()
+	c.WriteLine()
+	if c.ReadBytes() != 128 || c.WriteBytes() != 64 {
+		t.Fatalf("totals wrong: %d/%d", c.ReadBytes(), c.WriteBytes())
+	}
+	r, w := c.DeltaBytes()
+	if r != 128 || w != 64 {
+		t.Fatalf("delta wrong: %d/%d", r, w)
+	}
+	r, w = c.DeltaBytes()
+	if r != 0 || w != 0 {
+		t.Fatalf("second delta should be zero")
+	}
+	c.WriteLine()
+	if _, w := c.DeltaBytes(); w != 64 {
+		t.Fatalf("incremental delta wrong: %d", w)
+	}
+	c.Reset()
+	if c.ReadBytes() != 0 || c.WriteBytes() != 0 {
+		t.Fatalf("reset incomplete")
+	}
+}
+
+func TestAddressSpaceDisjoint(t *testing.T) {
+	a := NewAddressSpace()
+	r1 := a.Alloc(1000)
+	r2 := a.Alloc(64)
+	r3 := a.AllocLines(10)
+	// Regions must be disjoint and ordered.
+	n1 := uint64((1000 + 63) / 64)
+	if r2 < r1+n1 {
+		t.Fatalf("regions overlap: r1=%d(+%d) r2=%d", r1, n1, r2)
+	}
+	if r3 <= r2 {
+		t.Fatalf("allocator went backwards")
+	}
+	if r1 == 0 {
+		t.Fatalf("line address 0 must never be handed out")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Alloc(0) should panic")
+		}
+	}()
+	a.Alloc(0)
+}
+
+func TestAddressSpaceSetAlignment(t *testing.T) {
+	a := NewAddressSpace()
+	r1 := a.Alloc(1)
+	r2 := a.Alloc(1)
+	if r1%64 != 0 || r2%64 != 0 {
+		t.Errorf("regions should start on 64-line boundaries: %d %d", r1, r2)
+	}
+}

@@ -1,0 +1,55 @@
+package mlc
+
+import (
+	"testing"
+
+	"a4sim/internal/cache"
+)
+
+func TestGeometrySizes(t *testing.T) {
+	g := SkylakeGeometry()
+	if g.SizeBytes() != 1<<20 {
+		t.Errorf("Skylake MLC should be 1 MiB, got %d", g.SizeBytes())
+	}
+	if TestGeometry().SizeBytes() <= 0 {
+		t.Errorf("test geometry empty")
+	}
+}
+
+func TestFillLookupInvalidate(t *testing.T) {
+	m := New(TestGeometry(), 3)
+	if m.Core() != 3 {
+		t.Errorf("core identity wrong")
+	}
+	ev := m.Fill(100, 7, -1, cache.FlagDirty)
+	if ev.Valid {
+		t.Fatalf("first fill should not evict")
+	}
+	l, _ := m.Lookup(100)
+	if l == nil || l.Owner != 7 || !l.Dirty() {
+		t.Fatalf("fill metadata wrong: %+v", l)
+	}
+	m.Touch(l)
+	if old, ok := m.Invalidate(100); !ok || old.Addr != 100 {
+		t.Fatalf("invalidate failed")
+	}
+	if l, _ := m.Lookup(100); l != nil {
+		t.Fatalf("line still present")
+	}
+}
+
+func TestFillEvictsLRU(t *testing.T) {
+	g := TestGeometry()
+	m := New(g, 0)
+	sets := uint64(g.Sets)
+	// Fill one set beyond capacity.
+	for i := 0; i <= g.Ways; i++ {
+		ev := m.Fill(sets*uint64(i), -1, -1, 0)
+		if i < g.Ways && ev.Valid {
+			t.Fatalf("unexpected eviction at fill %d", i)
+		}
+		if i == g.Ways && (!ev.Valid || ev.Addr != 0) {
+			t.Fatalf("expected LRU eviction of addr 0, got %+v", ev)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package nic
+
+import (
+	"testing"
+
+	"a4sim/internal/hierarchy"
+	"a4sim/internal/mem"
+	"a4sim/internal/pcm"
+	"a4sim/internal/sim"
+)
+
+func newTestNIC(t *testing.T, entries int) (*NIC, *hierarchy.Hierarchy, pcm.WorkloadID) {
+	t.Helper()
+	f := pcm.NewFabric(1)
+	id := f.Register("net")
+	h := hierarchy.New(hierarchy.TestConfig(), f)
+	n := New(Config{
+		Name:        "nic0",
+		Port:        0,
+		LinesPerSec: 1e6,
+		PacketBytes: 256, // 4 lines
+		RingEntries: entries,
+		NumRings:    2,
+	}, h, id, mem.NewAddressSpace())
+	return n, h, id
+}
+
+func TestPacketDelivery(t *testing.T) {
+	n, h, id := newTestNIC(t, 8)
+	// One packet = 4 payload lines + descriptor write.
+	done := n.Step(0, 4)
+	if done != 4 {
+		t.Fatalf("Step did %d ops, want 4", done)
+	}
+	r := n.Ring(0)
+	if r.Ready() != 1 {
+		t.Fatalf("ring 0 should hold 1 packet, has %d", r.Ready())
+	}
+	slot, arrival, ok := r.Pop()
+	if !ok || slot != 0 || arrival < 0 {
+		t.Fatalf("pop failed: %d %f %v", slot, arrival, ok)
+	}
+	// Payload lines were DMA-written through the hierarchy.
+	if l, _ := h.LLC().Lookup(r.SlotAddr(0)); l == nil || !l.IO() {
+		t.Fatalf("payload line not in LLC")
+	}
+	if h.Fabric().C(id).IOReadBytes.Total() == 0 {
+		t.Fatalf("traffic not attributed")
+	}
+	if n.WrittenPackets() != 1 {
+		t.Fatalf("WrittenPackets = %d", n.WrittenPackets())
+	}
+}
+
+func TestRoundRobinAcrossRings(t *testing.T) {
+	n, _, _ := newTestNIC(t, 8)
+	n.Step(0, 8) // two packets
+	if n.Ring(0).Ready() != 1 || n.Ring(1).Ready() != 1 {
+		t.Fatalf("RSS distribution wrong: %d/%d", n.Ring(0).Ready(), n.Ring(1).Ready())
+	}
+}
+
+func TestDropsWhenFull(t *testing.T) {
+	n, _, _ := newTestNIC(t, 2) // tiny rings: 2 slots each
+	// 4 packets fill both rings; further arrivals must drop.
+	n.Step(0, 16)
+	if n.Dropped() != 0 {
+		t.Fatalf("unexpected drops while filling: %d", n.Dropped())
+	}
+	n.Step(0, 16)
+	if n.Dropped() == 0 {
+		t.Fatalf("expected drops on full rings")
+	}
+}
+
+func TestPopEmpty(t *testing.T) {
+	n, _, _ := newTestNIC(t, 4)
+	if _, _, ok := n.Ring(0).Pop(); ok {
+		t.Fatalf("pop from empty ring should fail")
+	}
+}
+
+func TestBurstShaping(t *testing.T) {
+	f := pcm.NewFabric(1)
+	id := f.Register("net")
+	h := hierarchy.New(hierarchy.TestConfig(), f)
+	n := New(Config{
+		Name: "nic0", Port: 0, LinesPerSec: 1000, PacketBytes: 64,
+		RingEntries: 16, NumRings: 1,
+		BurstPeriod: 1000, BurstDuty: 0.25,
+	}, h, id, mem.NewAddressSpace())
+	inBurst := n.OpsPerSecond(sim.Tick(100))  // phase 0.1 < 0.25
+	offBurst := n.OpsPerSecond(sim.Tick(900)) // phase 0.9
+	if inBurst != 4000 {
+		t.Errorf("burst rate = %v, want 4000", inBurst)
+	}
+	if offBurst != 0 {
+		t.Errorf("off-phase rate = %v, want 0", offBurst)
+	}
+	// Without shaping the rate is flat.
+	n2, _, _ := newTestNIC(t, 4)
+	if n2.OpsPerSecond(0) != n2.OpsPerSecond(sim.Tick(12345)) {
+		t.Errorf("unshaped rate should be constant")
+	}
+	n2.SetRate(5)
+	if n2.OpsPerSecond(0) != 5 {
+		t.Errorf("SetRate not applied")
+	}
+}
+
+func TestDescriptorSharing(t *testing.T) {
+	n, _, _ := newTestNIC(t, 16)
+	r := n.Ring(0)
+	if r.DescAddr(0) != r.DescAddr(7) {
+		t.Errorf("descriptors 0-7 should share a line")
+	}
+	if r.DescAddr(0) == r.DescAddr(8) {
+		t.Errorf("descriptor 8 should be on the next line")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	f := pcm.NewFabric(1)
+	id := f.Register("net")
+	h := hierarchy.New(hierarchy.TestConfig(), f)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("invalid config should panic")
+		}
+	}()
+	New(Config{Name: "bad"}, h, id, mem.NewAddressSpace())
+}

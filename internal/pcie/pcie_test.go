@@ -1,0 +1,79 @@
+package pcie
+
+import "testing"
+
+func TestPortLookup(t *testing.T) {
+	c := NewComplex("nic0", "ssd0")
+	if c.NumPorts() != 2 {
+		t.Fatalf("NumPorts = %d", c.NumPorts())
+	}
+	if c.Port(0).Name() != "nic0" || c.Port(1).Index() != 1 {
+		t.Errorf("port identity wrong")
+	}
+	if c.PortByName("ssd0") != c.Port(1) {
+		t.Errorf("PortByName failed")
+	}
+	if c.PortByName("nope") != nil {
+		t.Errorf("missing port should be nil")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("out-of-range Port() should panic")
+		}
+	}()
+	c.Port(5)
+}
+
+func TestDCAKnobs(t *testing.T) {
+	c := NewComplex("nic0", "ssd0")
+	if !c.DCAActive(0) || !c.DCAActive(1) {
+		t.Fatalf("DCA should start enabled everywhere")
+	}
+	// The hidden per-port knob (perfctrlsts_0).
+	c.SetPortDCA(1, false)
+	if c.DCAActive(1) {
+		t.Errorf("port 1 DCA should be off")
+	}
+	if !c.DCAActive(0) {
+		t.Errorf("port 0 DCA must be unaffected")
+	}
+	// The BIOS-level switch overrides everything.
+	c.SetGlobalDCA(false)
+	if c.DCAActive(0) || c.DCAActive(1) {
+		t.Errorf("global off must disable all ports")
+	}
+	if c.GlobalDCA() {
+		t.Errorf("GlobalDCA getter wrong")
+	}
+	c.SetGlobalDCA(true)
+	c.SetPortDCA(1, true)
+	if !c.DCAActive(1) {
+		t.Errorf("re-enabling failed")
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	c := NewComplex("nic0")
+	p := c.Port(0)
+	p.AccountInbound(100)
+	p.AccountOutbound(40)
+	p.AccountInbound(28)
+	if p.InboundBytes() != 128 || p.OutboundBytes() != 40 {
+		t.Fatalf("totals wrong: in=%d out=%d", p.InboundBytes(), p.OutboundBytes())
+	}
+	in, out := p.DeltaBytes()
+	if in != 128 || out != 40 {
+		t.Fatalf("first delta wrong: %d/%d", in, out)
+	}
+	in, out = p.DeltaBytes()
+	if in != 0 || out != 0 {
+		t.Fatalf("second delta should be zero: %d/%d", in, out)
+	}
+	p.AccountInbound(64)
+	if in, _ := p.DeltaBytes(); in != 64 {
+		t.Fatalf("incremental delta wrong: %d", in)
+	}
+	if !c.Port(0).DCAEnabled() {
+		t.Errorf("DCAEnabled getter wrong")
+	}
+}

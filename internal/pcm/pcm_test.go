@@ -1,0 +1,97 @@
+package pcm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRegisterAndAccess(t *testing.T) {
+	f := NewFabric(1)
+	a := f.Register("alpha")
+	b := f.Register("beta")
+	if f.NumWorkloads() != 2 {
+		t.Fatalf("NumWorkloads = %d", f.NumWorkloads())
+	}
+	if f.Name(a) != "alpha" || f.Name(b) != "beta" {
+		t.Errorf("names wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("invalid ID must panic")
+		}
+	}()
+	f.C(WorkloadID(99))
+}
+
+func TestSampleRates(t *testing.T) {
+	f := NewFabric(1)
+	id := f.Register("wl")
+	c := f.C(id)
+	c.MLCHits.Add(60)
+	c.MLCMisses.Add(40)
+	c.LLCHits.Add(30)
+	c.LLCMisses.Add(10)
+	c.DCAHits.Add(20)
+	c.DCAAllocs.Add(80)
+	c.DMALeaks.Add(8)
+	c.Instructions.Add(500)
+	c.Cycles.Add(1000)
+	c.IOReadBytes.Add(2_000_000_000)
+
+	s := f.SampleAll(1)[0]
+	if math.Abs(s.MLCHitRate-0.6) > 1e-9 || math.Abs(s.MLCMissRate-0.4) > 1e-9 {
+		t.Errorf("MLC rates wrong: %+v", s)
+	}
+	if math.Abs(s.LLCHitRate-0.75) > 1e-9 || math.Abs(s.LLCMissRate-0.25) > 1e-9 {
+		t.Errorf("LLC rates wrong: %+v", s)
+	}
+	if math.Abs(s.DCAMissRate-0.8) > 1e-9 {
+		t.Errorf("DCA miss rate wrong: %v", s.DCAMissRate)
+	}
+	if math.Abs(s.LeakRate-0.1) > 1e-9 {
+		t.Errorf("leak rate wrong: %v", s.LeakRate)
+	}
+	if math.Abs(s.IPC-0.5) > 1e-9 {
+		t.Errorf("IPC wrong: %v", s.IPC)
+	}
+	if math.Abs(s.IOReadGBps-2.0) > 1e-9 {
+		t.Errorf("IO GBps wrong: %v", s.IOReadGBps)
+	}
+	if !s.IsIOActive() {
+		t.Errorf("should be IO active")
+	}
+
+	// Deltas are consumed: a second sample over an idle interval is zero.
+	s2 := f.SampleAll(1)[0]
+	if s2.LLCHitRate != 0 || s2.IPC != 0 || s2.IsIOActive() {
+		t.Errorf("second sample should be empty: %+v", s2)
+	}
+}
+
+func TestRateScale(t *testing.T) {
+	f := NewFabric(64)
+	id := f.Register("wl")
+	f.C(id).IOReadBytes.Add(1_000_000_000 / 64)
+	s := f.SampleAll(1)[0]
+	if math.Abs(s.IOReadGBps-1.0) > 1e-9 {
+		t.Errorf("rate scale not applied: %v", s.IOReadGBps)
+	}
+	if g := f.GBps(64_000_000, 1); math.Abs(g-4.096) > 1e-9 {
+		t.Errorf("GBps helper wrong: %v", g)
+	}
+	if f.GBps(100, 0) != 0 {
+		t.Errorf("zero interval must yield 0")
+	}
+}
+
+func TestLeakRateClamp(t *testing.T) {
+	f := NewFabric(1)
+	id := f.Register("wl")
+	c := f.C(id)
+	c.DCAAllocs.Add(10)
+	c.DMALeaks.Add(50) // leaks also come from inclusive-way evictions
+	s := f.SampleAll(1)[0]
+	if s.LeakRate > 1 {
+		t.Errorf("leak rate must be clamped to 1, got %v", s.LeakRate)
+	}
+}

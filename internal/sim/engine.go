@@ -1,0 +1,146 @@
+// Package sim provides the discrete, epoch-driven simulation engine that
+// drives every other component of the A4 reproduction: a simulated clock,
+// an actor scheduler that interleaves CPU workloads and I/O devices within
+// each epoch, and deterministic randomness.
+//
+// Simulated time advances in microsecond Ticks grouped into millisecond
+// Epochs. Actors receive per-epoch operation budgets proportional to their
+// configured rates and are stepped in interleaved slices, so that device DMA
+// traffic and CPU memory traffic mix at fine grain the way they do on real
+// hardware. Observers (the A4 daemon, counter samplers) run at simulated
+// one-second boundaries, mirroring the paper's 1 s monitoring loop.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Tick is one microsecond of simulated time.
+type Tick int64
+
+const (
+	// TicksPerEpoch groups ticks into 1 ms scheduling epochs.
+	TicksPerEpoch = 1000
+	// EpochsPerSecond is the number of epochs in one simulated second.
+	EpochsPerSecond = 1000
+	// TicksPerSecond is one simulated second in ticks.
+	TicksPerSecond = TicksPerEpoch * EpochsPerSecond
+	// InterleaveSlices is how many round-robin slices each epoch is divided
+	// into; higher values mix actor traffic at finer grain at slightly more
+	// scheduling overhead.
+	InterleaveSlices = 8
+)
+
+// Seconds converts a tick count to simulated seconds.
+func (t Tick) Seconds() float64 { return float64(t) / TicksPerSecond }
+
+// Actor is anything that issues simulated work: a workload thread, a NIC, an
+// SSD. Each epoch the engine grants the actor a budget of operations derived
+// from OpsPerSecond and calls Step in interleaved slices.
+type Actor interface {
+	// Name identifies the actor in traces and error messages.
+	Name() string
+	// OpsPerSecond is the actor's current operation rate at the given time.
+	// It is re-sampled every epoch, so actors may throttle themselves
+	// dynamically or shape their load (e.g. bursty arrivals).
+	OpsPerSecond(now Tick) float64
+	// Step performs up to budget operations and returns how many were
+	// actually performed (an actor may run out of work, e.g. an empty ring).
+	Step(now Tick, budget int) int
+}
+
+// Observer runs control-plane logic at simulated one-second boundaries.
+type Observer interface {
+	// OnSecond is called once per simulated second with the boundary time.
+	OnSecond(now Tick)
+}
+
+// Engine owns simulated time and the actor/observer sets.
+type Engine struct {
+	now       Tick
+	actors    []Actor
+	observers []Observer
+	rng       *RNG
+	carry     []float64 // fractional op budget carried between epochs, per actor
+
+	// Stop, when set by an observer or actor callback, ends Run early.
+	stopped bool
+}
+
+// NewEngine returns an engine with simulated time at zero.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRNG(seed)}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Tick { return e.now }
+
+// RNG returns the engine's root random source; components should Fork it.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// AddActor registers an actor. Actors are stepped in registration order
+// within each interleave slice.
+func (e *Engine) AddActor(a Actor) {
+	e.actors = append(e.actors, a)
+	e.carry = append(e.carry, 0)
+}
+
+// AddObserver registers a per-second observer.
+func (e *Engine) AddObserver(o Observer) {
+	e.observers = append(e.observers, o)
+}
+
+// Stop requests that Run return at the end of the current epoch.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run advances simulated time by the given number of simulated seconds.
+func (e *Engine) Run(seconds float64) {
+	epochs := int(seconds * EpochsPerSecond)
+	e.RunEpochs(epochs)
+}
+
+// RunEpochs advances simulated time by the given number of epochs.
+func (e *Engine) RunEpochs(epochs int) {
+	budgets := make([]int, len(e.actors))
+	for ep := 0; ep < epochs && !e.stopped; ep++ {
+		// Compute per-epoch budgets with fractional carry, so low-rate
+		// actors still make progress over multiple epochs.
+		for i, a := range e.actors {
+			want := a.OpsPerSecond(e.now)/EpochsPerSecond + e.carry[i]
+			b := int(want)
+			e.carry[i] = want - float64(b)
+			budgets[i] = b
+		}
+		// Interleave: divide each actor's budget across slices.
+		for s := 0; s < InterleaveSlices; s++ {
+			sliceTick := e.now + Tick(s*TicksPerEpoch/InterleaveSlices)
+			for i, a := range e.actors {
+				share := budgets[i] / InterleaveSlices
+				if s < budgets[i]%InterleaveSlices {
+					share++
+				}
+				if share > 0 {
+					a.Step(sliceTick, share)
+				}
+			}
+		}
+		e.now += TicksPerEpoch
+		if e.now%TicksPerSecond == 0 {
+			for _, o := range e.observers {
+				o.OnSecond(e.now)
+			}
+		}
+	}
+}
+
+// FuncObserver adapts a plain function to the Observer interface.
+type FuncObserver func(now Tick)
+
+// OnSecond implements Observer.
+func (f FuncObserver) OnSecond(now Tick) { f(now) }
+
+// Duration formats simulated time for human-readable traces.
+func Duration(t Tick) string {
+	return fmt.Sprint(time.Duration(t) * time.Microsecond)
+}

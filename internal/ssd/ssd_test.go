@@ -1,0 +1,146 @@
+package ssd
+
+import (
+	"testing"
+
+	"a4sim/internal/hierarchy"
+	"a4sim/internal/pcm"
+)
+
+func newTestSSD(t *testing.T, cfg Config) (*SSD, *hierarchy.Hierarchy, pcm.WorkloadID) {
+	t.Helper()
+	f := pcm.NewFabric(1)
+	id := f.Register("fio")
+	h := hierarchy.New(hierarchy.TestConfig(), f)
+	if cfg.Name == "" {
+		cfg.Name = "ssd0"
+	}
+	cfg.Port = 1
+	if cfg.LinesPerSec == 0 {
+		cfg.LinesPerSec = 1e6
+	}
+	return New(cfg, h), h, id
+}
+
+func TestReadCommandCompletes(t *testing.T) {
+	s, h, id := newTestSSD(t, Config{})
+	cmd := &Command{Op: OpRead, Buf: 4096, Lines: 8, WL: id, Cookie: 5, Submit: 0}
+	s.Submit(cmd)
+	if s.QueueDepth() != 1 {
+		t.Fatalf("queue depth = %d", s.QueueDepth())
+	}
+	spent := s.Step(0, 1000)
+	if spent == 0 {
+		t.Fatalf("no service performed")
+	}
+	done := s.Drain()
+	if len(done) != 1 || done[0].Cookie != 5 {
+		t.Fatalf("completion missing: %+v", done)
+	}
+	if done[0].Complete <= done[0].Submit {
+		t.Fatalf("completion time not set")
+	}
+	// The block's lines were DMA-written into the hierarchy.
+	for l := uint64(0); l < 8; l++ {
+		if line, _ := h.LLC().Lookup(4096 + l); line == nil {
+			t.Fatalf("line %d not written", l)
+		}
+	}
+	if s.CompletedBytes() != 8*64 {
+		t.Fatalf("CompletedBytes = %d", s.CompletedBytes())
+	}
+	if s.QueueDepth() != 0 {
+		t.Fatalf("command still queued")
+	}
+}
+
+func TestWriteCommandReadsHost(t *testing.T) {
+	s, h, id := newTestSSD(t, Config{})
+	s.Submit(&Command{Op: OpWrite, Buf: 8192, Lines: 4, WL: id})
+	s.Step(0, 1000)
+	if len(s.Drain()) != 1 {
+		t.Fatalf("write command did not complete")
+	}
+	// Host-to-device transfers account as outbound PCIe traffic.
+	if h.PCIe().Port(1).OutboundBytes() != 4*64 {
+		t.Fatalf("outbound bytes = %d", h.PCIe().Port(1).OutboundBytes())
+	}
+}
+
+func TestPerCommandOverheadSlowsSmallBlocks(t *testing.T) {
+	// With a fixed overhead, many small commands consume more service time
+	// per byte than one large command.
+	small, _, idS := newTestSSD(t, Config{OverheadLines: 64})
+	budget := 64*8 + 64*8 // overhead + data for 8 one-line commands... measured below
+	for i := 0; i < 8; i++ {
+		small.Submit(&Command{Op: OpRead, Buf: uint64(1000 + i*64), Lines: 8, WL: idS, Cookie: i})
+	}
+	spentSmall := small.Step(0, 100000)
+	bytesSmall := 8 * 8 * 64
+	_ = budget
+
+	large, _, idL := newTestSSD(t, Config{OverheadLines: 64})
+	large.Submit(&Command{Op: OpRead, Buf: 50000, Lines: 64, WL: idL})
+	spentLarge := large.Step(0, 100000)
+	bytesLarge := 64 * 64
+
+	effSmall := float64(bytesSmall) / float64(spentSmall)
+	effLarge := float64(bytesLarge) / float64(spentLarge)
+	if effSmall >= effLarge {
+		t.Errorf("small blocks should be less efficient: small=%.2f large=%.2f", effSmall, effLarge)
+	}
+}
+
+func TestParallelismWindow(t *testing.T) {
+	s, _, id := newTestSSD(t, Config{Parallelism: 2, ChunkLines: 4})
+	for i := 0; i < 6; i++ {
+		s.Submit(&Command{Op: OpRead, Buf: uint64(1000 + i*100), Lines: 16, WL: id, Cookie: i})
+	}
+	// Service exactly enough for the first two commands.
+	s.Step(0, 32)
+	done := s.Drain()
+	for _, c := range done {
+		if c.Cookie > 1 {
+			t.Errorf("command %d completed outside the parallelism window", c.Cookie)
+		}
+	}
+}
+
+func TestIdleStepIsFree(t *testing.T) {
+	s, _, _ := newTestSSD(t, Config{})
+	if spent := s.Step(0, 100); spent != 0 {
+		t.Errorf("idle SSD should not burn budget, spent %d", spent)
+	}
+}
+
+func TestPortAccessor(t *testing.T) {
+	s, _, _ := newTestSSD(t, Config{})
+	if s.Port() != 1 || s.Name() != "ssd0" {
+		t.Errorf("identity accessors wrong")
+	}
+	if s.OpsPerSecond(0) != 1e6 {
+		t.Errorf("rate accessor wrong")
+	}
+}
+
+func TestDrainForRoutesPerWorkload(t *testing.T) {
+	f := pcm.NewFabric(1)
+	idA := f.Register("a")
+	idB := f.Register("b")
+	h := hierarchy.New(hierarchy.TestConfig(), f)
+	s := New(Config{Name: "ssd0", Port: 1, LinesPerSec: 1e6}, h)
+	s.Submit(&Command{Op: OpRead, Buf: 1000, Lines: 2, WL: idA, Cookie: 1})
+	s.Submit(&Command{Op: OpRead, Buf: 2000, Lines: 2, WL: idB, Cookie: 2})
+	s.Step(0, 10000)
+	a := s.DrainFor(idA)
+	if len(a) != 1 || a[0].WL != idA {
+		t.Fatalf("DrainFor(a) = %+v", a)
+	}
+	b := s.DrainFor(idB)
+	if len(b) != 1 || b[0].WL != idB {
+		t.Fatalf("DrainFor(b) = %+v", b)
+	}
+	if len(s.DrainFor(idA)) != 0 {
+		t.Fatalf("double drain should be empty")
+	}
+}

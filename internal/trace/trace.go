@@ -1,0 +1,140 @@
+// Package trace provides a bounded, allocation-free event log for the
+// simulator: controller decisions, DCA knob flips, zone changes, and
+// workload phase events. Components append typed events; tools render the
+// tail. Unlike fmt-based logging, recording is cheap enough to stay enabled
+// inside the simulation loop.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"a4sim/internal/sim"
+)
+
+// Kind classifies events.
+type Kind uint8
+
+// Event kinds.
+const (
+	KindAlloc    Kind = iota // CAT mask programmed
+	KindDCA                  // DCA knob flipped
+	KindDetect               // antagonist / phase detection
+	KindZone                 // LP/HP zone movement
+	KindWorkload             // workload lifecycle
+	KindNote                 // free-form
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindAlloc:
+		return "alloc"
+	case KindDCA:
+		return "dca"
+	case KindDetect:
+		return "detect"
+	case KindZone:
+		return "zone"
+	case KindWorkload:
+		return "workload"
+	default:
+		return "note"
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At   sim.Tick
+	Kind Kind
+	// Subject names the affected entity (workload, port, CLOS).
+	Subject string
+	// A and B are event-specific integers (e.g. old/new mask).
+	A, B int64
+	Msg  string
+}
+
+// String renders one event line.
+func (e Event) String() string {
+	return fmt.Sprintf("[%8.3fs] %-8s %-12s a=%-6d b=%-6d %s",
+		e.At.Seconds(), e.Kind, e.Subject, e.A, e.B, e.Msg)
+}
+
+// Log is a fixed-capacity ring of events.
+type Log struct {
+	buf   []Event
+	next  int
+	count int
+	// Dropped counts events lost to capacity (always 0 until wrap).
+	Dropped int64
+}
+
+// NewLog returns a log holding up to capacity events (default 4096).
+func NewLog(capacity int) *Log {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Log{buf: make([]Event, capacity)}
+}
+
+// Add appends an event, overwriting the oldest when full.
+func (l *Log) Add(e Event) {
+	if l.count == len(l.buf) {
+		l.Dropped++
+	} else {
+		l.count++
+	}
+	l.buf[l.next] = e
+	l.next = (l.next + 1) % len(l.buf)
+}
+
+// Addf appends a formatted note-style event.
+func (l *Log) Addf(at sim.Tick, kind Kind, subject, format string, args ...any) {
+	l.Add(Event{At: at, Kind: kind, Subject: subject, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Len returns the number of retained events.
+func (l *Log) Len() int { return l.count }
+
+// Events returns retained events oldest-first.
+func (l *Log) Events() []Event {
+	out := make([]Event, 0, l.count)
+	start := l.next - l.count
+	if start < 0 {
+		start += len(l.buf)
+	}
+	for i := 0; i < l.count; i++ {
+		out = append(out, l.buf[(start+i)%len(l.buf)])
+	}
+	return out
+}
+
+// Tail returns the most recent n events, oldest-first.
+func (l *Log) Tail(n int) []Event {
+	ev := l.Events()
+	if n >= len(ev) {
+		return ev
+	}
+	return ev[len(ev)-n:]
+}
+
+// Filter returns retained events of the given kind, oldest-first.
+func (l *Log) Filter(kind Kind) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// String renders the whole log.
+func (l *Log) String() string {
+	var b strings.Builder
+	for _, e := range l.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"a4sim/internal/sim"
+)
+
+func TestAddAndEvents(t *testing.T) {
+	l := NewLog(4)
+	for i := 0; i < 3; i++ {
+		l.Add(Event{At: sim.Tick(i), Kind: KindZone, Subject: "lp", A: int64(i)})
+	}
+	if l.Len() != 3 || l.Dropped != 0 {
+		t.Fatalf("len=%d dropped=%d", l.Len(), l.Dropped)
+	}
+	ev := l.Events()
+	for i, e := range ev {
+		if e.A != int64(i) {
+			t.Fatalf("order wrong at %d: %+v", i, e)
+		}
+	}
+}
+
+func TestRingOverwrite(t *testing.T) {
+	l := NewLog(3)
+	for i := 0; i < 5; i++ {
+		l.Add(Event{A: int64(i)})
+	}
+	if l.Len() != 3 || l.Dropped != 2 {
+		t.Fatalf("len=%d dropped=%d", l.Len(), l.Dropped)
+	}
+	ev := l.Events()
+	if ev[0].A != 2 || ev[2].A != 4 {
+		t.Fatalf("oldest-first order wrong: %+v", ev)
+	}
+}
+
+func TestTailAndFilter(t *testing.T) {
+	l := NewLog(10)
+	l.Add(Event{Kind: KindDCA, A: 1})
+	l.Add(Event{Kind: KindZone, A: 2})
+	l.Add(Event{Kind: KindDCA, A: 3})
+	if tail := l.Tail(2); len(tail) != 2 || tail[1].A != 3 {
+		t.Fatalf("tail wrong: %+v", tail)
+	}
+	if tail := l.Tail(99); len(tail) != 3 {
+		t.Fatalf("oversized tail should return all")
+	}
+	dca := l.Filter(KindDCA)
+	if len(dca) != 2 || dca[0].A != 1 || dca[1].A != 3 {
+		t.Fatalf("filter wrong: %+v", dca)
+	}
+}
+
+func TestAddfAndString(t *testing.T) {
+	l := NewLog(0) // default capacity
+	l.Addf(sim.TicksPerSecond, KindDetect, "fio", "leak rate %.2f", 0.5)
+	out := l.String()
+	if !strings.Contains(out, "detect") || !strings.Contains(out, "leak rate 0.50") {
+		t.Errorf("rendered log missing content: %q", out)
+	}
+	for _, k := range []Kind{KindAlloc, KindDCA, KindDetect, KindZone, KindWorkload, KindNote} {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", k)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"fmt"
+
+	"a4sim/internal/hierarchy"
+	"a4sim/internal/mem"
+	"a4sim/internal/nic"
+	"a4sim/internal/pcm"
+	"a4sim/internal/sim"
+	"a4sim/internal/ssd"
+)
+
+// SPECProfile captures the memory behaviour of one SPEC CPU2017 benchmark
+// as characterized by Singh & Awasthi (ICPE'19) and the paper's own
+// discussion: working set, locality, and compute intensity.
+type SPECProfile struct {
+	Name       string
+	WSBytes    int64
+	Pattern    Pattern
+	Skew       float64
+	WriteFrac  float64
+	InstrPerOp int
+	CPIBase    float64
+	Overlap    int
+}
+
+// SPECProfiles is the benchmark set used in Fig. 13. Streaming,
+// low-locality benchmarks (lbm, bwaves, fotonik3d, mcf) are the paper's
+// non-I/O antagonists; x264 saturates at small cache; parest and xalancbmk
+// benefit steadily from capacity.
+var SPECProfiles = map[string]SPECProfile{
+	"x264":      {Name: "x264", WSBytes: 2 << 20, Pattern: Zipf, Skew: 0.8, WriteFrac: 0.3, InstrPerOp: 30, CPIBase: 0.45, Overlap: 2},
+	"parest":    {Name: "parest", WSBytes: 12 << 20, Pattern: Zipf, Skew: 0.40, WriteFrac: 0.2, InstrPerOp: 12, CPIBase: 0.5, Overlap: 1},
+	"xalancbmk": {Name: "xalancbmk", WSBytes: 8 << 20, Pattern: Zipf, Skew: 0.45, WriteFrac: 0.15, InstrPerOp: 10, CPIBase: 0.5, Overlap: 1},
+	"omnetpp":   {Name: "omnetpp", WSBytes: 24 << 20, Pattern: Zipf, Skew: 0.60, WriteFrac: 0.25, InstrPerOp: 8, CPIBase: 0.55, Overlap: 1},
+	"exchange2": {Name: "exchange2", WSBytes: 512 << 10, Pattern: Zipf, Skew: 0.9, WriteFrac: 0.3, InstrPerOp: 60, CPIBase: 0.4, Overlap: 1},
+	"lbm":       {Name: "lbm", WSBytes: 128 << 20, Pattern: Sequential, WriteFrac: 0.5, InstrPerOp: 4, CPIBase: 0.5, Overlap: 4},
+	"bwaves":    {Name: "bwaves", WSBytes: 96 << 20, Pattern: Sequential, WriteFrac: 0.3, InstrPerOp: 5, CPIBase: 0.5, Overlap: 4},
+	"fotonik3d": {Name: "fotonik3d", WSBytes: 80 << 20, Pattern: Sequential, WriteFrac: 0.4, InstrPerOp: 4, CPIBase: 0.5, Overlap: 4},
+	"mcf":       {Name: "mcf", WSBytes: 64 << 20, Pattern: Random, WriteFrac: 0.2, InstrPerOp: 6, CPIBase: 0.6, Overlap: 1},
+	"blender":   {Name: "blender", WSBytes: 6 << 20, Pattern: Zipf, Skew: 0.7, WriteFrac: 0.3, InstrPerOp: 25, CPIBase: 0.45, Overlap: 2},
+}
+
+// NewSPEC builds a single-core SPEC CPU2017 proxy by benchmark name.
+func NewSPEC(bench string, core int, h *hierarchy.Hierarchy, alloc *mem.AddressSpace, rng *sim.RNG, rateScale float64) (*Synthetic, error) {
+	p, ok := SPECProfiles[bench]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown SPEC benchmark %q", bench)
+	}
+	return NewSynthetic(SyntheticConfig{
+		Name:       p.Name,
+		Cores:      []int{core},
+		WSBytes:    p.WSBytes,
+		Pattern:    p.Pattern,
+		Skew:       p.Skew,
+		WriteFrac:  p.WriteFrac,
+		InstrPerOp: p.InstrPerOp,
+		CPIBase:    p.CPIBase,
+		Overlap:    p.Overlap,
+		RateScale:  rateScale,
+	}, h, alloc, rng), nil
+}
+
+// NewRedisServer builds the Redis-S proxy: a single-core persistent KV store
+// under YCSB workload A (update-heavy, zipfian keys) over a tens-of-MB
+// dataset whose hot set is LLC-cacheable.
+func NewRedisServer(core int, h *hierarchy.Hierarchy, alloc *mem.AddressSpace, rng *sim.RNG, rateScale float64) *Synthetic {
+	return NewSynthetic(SyntheticConfig{
+		Name:       "redis-s",
+		Cores:      []int{core},
+		WSBytes:    32 << 20,
+		Pattern:    Zipf,
+		Skew:       0.85,
+		WriteFrac:  0.5, // YCSB-A: 50% updates
+		InstrPerOp: 20,
+		CPIBase:    0.5,
+		Overlap:    1,
+		RateScale:  rateScale,
+	}, h, alloc, rng)
+}
+
+// NewRedisClient builds the Redis-C proxy: the YCSB client, a mostly
+// compute-bound request generator with a small working set.
+func NewRedisClient(core int, h *hierarchy.Hierarchy, alloc *mem.AddressSpace, rng *sim.RNG, rateScale float64) *Synthetic {
+	return NewSynthetic(SyntheticConfig{
+		Name:       "redis-c",
+		Cores:      []int{core},
+		WSBytes:    2 << 20,
+		Pattern:    Zipf,
+		Skew:       0.9,
+		WriteFrac:  0.2,
+		InstrPerOp: 40,
+		CPIBase:    0.45,
+		Overlap:    1,
+		RateScale:  rateScale,
+	}, h, alloc, rng)
+}
+
+// NewFastclick builds the Fastclick proxy: DPDK-style touch-and-forward
+// packet processing over one ring per core (Table 2: 1024 B packets,
+// 2048-entry rings, 4 cores).
+func NewFastclick(cores []int, h *hierarchy.Hierarchy, n *nic.NIC, id pcm.WorkloadID, rateScale float64) *DPDK {
+	return NewDPDK(DPDKConfig{
+		Name:        "fastclick",
+		Cores:       cores,
+		Touch:       true,
+		Forward:     true,
+		InstrPerPkt: 800,
+		CPIBase:     0.5,
+		Overlap:     4,
+		RateScale:   rateScale,
+	}, h, n, id)
+}
+
+// NewFFSB builds an FFSB proxy on the FIO engine: heavy (2 MB blocks,
+// 3 cores) or light (32 KB blocks, 1 core), with a mixed read/write command
+// stream and regex processing per Table 2.
+func NewFFSB(name string, heavy bool, cores []int, h *hierarchy.Hierarchy, dev *ssd.SSD,
+	id pcm.WorkloadID, alloc *mem.AddressSpace, rng *sim.RNG, rateScale float64) *FIO {
+	block := 32 << 10
+	if heavy {
+		block = 2 << 20
+	}
+	return NewFIO(FIOConfig{
+		Name:         name,
+		Cores:        cores,
+		BlockBytes:   block,
+		QueueDepth:   32,
+		WriteFrac:    0.3,
+		InstrPerLine: 6,
+		CPIBase:      0.5,
+		Overlap:      8,
+		RateScale:    rateScale,
+	}, h, dev, id, alloc, rng)
+}
