@@ -26,6 +26,7 @@ func main() {
 	quick := flag.Bool("quick", false, "trim sweeps and shorten runs")
 	verbose := flag.Bool("v", false, "include controller event notes")
 	list := flag.Bool("list", false, "list available figure IDs")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	if *list || *fig == "" {
@@ -37,7 +38,7 @@ func main() {
 		return
 	}
 
-	opts := figures.Options{Quick: *quick, Verbose: *verbose}
+	opts := figures.Options{Quick: *quick, Verbose: *verbose, Workers: *workers}
 	ids := []string{*fig}
 	switch *fig {
 	case "all":

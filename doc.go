@@ -9,4 +9,13 @@
 // A4 runtime LLC-management framework itself, and a harness that regenerates
 // every figure of the paper. See README.md for a tour and DESIGN.md for the
 // system inventory.
+//
+// The per-access hot path stores cache and directory state in packed
+// structure-of-arrays form (one 64-bit word per slot plus per-set LRU
+// permutation and valid-bitmask words; see PERF.md for the profile-driven
+// design), and the figure layer executes independent sweep points on a
+// worker pool sized by figures.Options.Workers — deterministically, since
+// every point owns its engine and seeded RNGs. Build with the included
+// go.mod (module a4sim); scripts/bench.sh records benchmark snapshots as
+// BENCH_<date>.json.
 package a4sim

@@ -1,0 +1,3 @@
+module a4sim
+
+go 1.22

@@ -71,9 +71,9 @@ func TestInsertLookupInvalidate(t *testing.T) {
 	if ev.Valid || way < 0 {
 		t.Fatalf("first insert should use an empty slot, got ev=%+v way=%d", ev, way)
 	}
-	l, w := c.Lookup(100)
-	if l == nil || w != way {
-		t.Fatalf("lookup after insert failed")
+	l, w := c.Probe(100)
+	if !l.Valid || w != way {
+		t.Fatalf("probe after insert failed")
 	}
 	if l.Owner != 7 || l.Port != 2 || !l.IO() || l.Dirty() {
 		t.Errorf("metadata not preserved: %+v", l)
@@ -81,8 +81,8 @@ func TestInsertLookupInvalidate(t *testing.T) {
 	if old, ok := c.Invalidate(100); !ok || old.Addr != 100 {
 		t.Fatalf("invalidate failed")
 	}
-	if l, _ := c.Lookup(100); l != nil {
-		t.Fatalf("lookup after invalidate should miss")
+	if l, _ := c.Probe(100); l.Valid {
+		t.Fatalf("probe after invalidate should miss")
 	}
 	if _, ok := c.Invalidate(100); ok {
 		t.Errorf("double invalidate should report false")
@@ -96,8 +96,8 @@ func TestLRUVictim(t *testing.T) {
 		c.Insert(a, all, -1, -1, 0)
 	}
 	// Touch 0 so 1 becomes LRU.
-	l, _ := c.Lookup(0)
-	c.Touch(l)
+	_, w := c.Probe(0)
+	c.Touch(0, w)
 	ev, _ := c.Insert(99, all, -1, -1, 0)
 	if !ev.Valid || ev.Addr != 1 {
 		t.Errorf("expected LRU victim addr 1, got %+v", ev)
@@ -115,7 +115,7 @@ func TestMaskedVictimSelection(t *testing.T) {
 	if way != 2 && way != 3 {
 		t.Errorf("victim way %d outside mask [2:3]", way)
 	}
-	if l, w := c.Lookup(50); l == nil || (w != 2 && w != 3) {
+	if l, w := c.Probe(50); !l.Valid || (w != 2 && w != 3) {
 		t.Errorf("new line not placed in masked ways")
 	}
 }
@@ -135,9 +135,9 @@ func TestMoveToWay(t *testing.T) {
 		c.Insert(a, all, int16(a), -1, 0)
 	}
 	// Move addr 0 into ways [2:3]; the victim must be evicted from there.
-	moved, ev := c.MoveToWay(0, MaskRange(2, 3))
-	if moved == nil || moved.Addr != 0 {
-		t.Fatalf("move failed: %+v", moved)
+	moved, mw, ev := c.MoveToWay(0, MaskRange(2, 3))
+	if mw < 0 || moved.Addr != 0 {
+		t.Fatalf("move failed: %+v way %d", moved, mw)
 	}
 	if w := c.WayOf(0); w != 2 && w != 3 {
 		t.Errorf("moved line in way %d, want 2 or 3", w)
@@ -146,13 +146,13 @@ func TestMoveToWay(t *testing.T) {
 		t.Errorf("unexpected eviction %+v", ev)
 	}
 	// Moving a line already inside the mask is a no-op with a touch.
-	_, ev2 := c.MoveToWay(0, MaskRange(2, 3))
+	_, _, ev2 := c.MoveToWay(0, MaskRange(2, 3))
 	if ev2.Valid {
 		t.Errorf("in-place move should not evict")
 	}
-	// Moving a missing line returns nil.
-	if m, _ := c.MoveToWay(999, all); m != nil {
-		t.Errorf("moving a missing line should return nil")
+	// Moving a missing line reports way -1.
+	if _, w, _ := c.MoveToWay(999, all); w >= 0 {
+		t.Errorf("moving a missing line should report a miss")
 	}
 }
 

@@ -12,7 +12,8 @@ import (
 // migration race split, the imperfect-LRU approximation, NIC burst shaping,
 // and the SSD parallelism window. Each reruns a motivation experiment under
 // variants of one knob so reviewers can see which reproduced effects depend
-// on which assumption.
+// on which assumption. Like the figures, every ablation point is an
+// independent scenario and runs on the sweep worker pool.
 
 // AblationRegistry maps ablation IDs to generators, mirroring Registry.
 var AblationRegistry = map[string]func(Options) *Report{
@@ -39,6 +40,18 @@ func ablationFig3Point(p harness.Params, xlo int, warm, meas float64) *harness.R
 	return s.Run(warm, meas)
 }
 
+// ablationFig3Sweep runs the (knob value, X-Mem position) grid used by the
+// migration and PLRU ablations: for each knob index the scenario params are
+// customized by prep, and both probe positions are measured.
+func ablationFig3Sweep(o Options, n int, prep func(i int) harness.Params, positions [2]int, warm, meas float64) [][2]*harness.Result {
+	out := make([][2]*harness.Result, n)
+	forEachPoint(o, n*2, func(j int) {
+		i, side := j/2, j%2
+		out[i][side] = ablationFig3Point(prep(i), positions[side], warm, meas)
+	})
+	return out
+}
+
 // AblationMigrationRace sweeps MigrationStickPct: at 100 every consumed DMA
 // line migrates (directory contention only), at 0 every one takes the bloat
 // path (DMA bloat only). Fig. 3b needs both, which is why the default is 50.
@@ -50,14 +63,16 @@ func AblationMigrationRace(o Options) *Report {
 	bloat := rep.AddSeries("xmem-miss@[5:6]")
 	dir := rep.AddSeries("xmem-miss@[9:10]")
 	warm, meas := o.windows(2, 3)
-	for i, stick := range []int{0, 50, 100} {
+	sticks := []int{0, 50, 100}
+	results := ablationFig3Sweep(o, len(sticks), func(i int) harness.Params {
 		p := microParams(o)
-		p.Hierarchy.MigrationStickPct = stick
+		p.Hierarchy.MigrationStickPct = sticks[i]
+		return p
+	}, [2]int{5, 9}, warm, meas)
+	for i, stick := range sticks {
 		lbl := fmt.Sprintf("stick=%d%%", stick)
-		r1 := ablationFig3Point(p, 5, warm, meas)
-		r2 := ablationFig3Point(p, 9, warm, meas)
-		bloat.Add(lbl, float64(i), r1.W("xmem").LLCMissRate)
-		dir.Add(lbl, float64(i), r2.W("xmem").LLCMissRate)
+		bloat.Add(lbl, float64(i), results[i][0].W("xmem").LLCMissRate)
+		dir.Add(lbl, float64(i), results[i][1].W("xmem").LLCMissRate)
 	}
 	return rep
 }
@@ -73,14 +88,16 @@ func AblationVictimRandomness(o Options) *Report {
 	latent := rep.AddSeries("xmem-miss@[0:1]")
 	clean := rep.AddSeries("xmem-miss@[3:4]")
 	warm, meas := o.windows(2, 3)
-	for i, pct := range []int{0, 10, 25} {
+	pcts := []int{0, 10, 25}
+	results := ablationFig3Sweep(o, len(pcts), func(i int) harness.Params {
 		p := microParams(o)
-		p.Hierarchy.LLCVictimRandPct = pct
+		p.Hierarchy.LLCVictimRandPct = pcts[i]
+		return p
+	}, [2]int{0, 3}, warm, meas)
+	for i, pct := range pcts {
 		lbl := fmt.Sprintf("rand=%d%%", pct)
-		r1 := ablationFig3Point(p, 0, warm, meas)
-		r2 := ablationFig3Point(p, 3, warm, meas)
-		latent.Add(lbl, float64(i), r1.W("xmem").LLCMissRate)
-		clean.Add(lbl, float64(i), r2.W("xmem").LLCMissRate)
+		latent.Add(lbl, float64(i), results[i][0].W("xmem").LLCMissRate)
+		clean.Add(lbl, float64(i), results[i][1].W("xmem").LLCMissRate)
 	}
 	return rep
 }
@@ -103,16 +120,18 @@ func AblationBurstShaping(o Options) *Report {
 		{"bursty", 0 /* default shaping */},
 		{"smooth", -1 /* explicit smooth */},
 	}
-	for i, c := range cases {
+	results := runPoints(o, len(cases), func(i int) *harness.Result {
 		p := microParams(o)
-		p.NICBurstPeriod = c.period
+		p.NICBurstPeriod = cases[i].period
 		s := harness.NewScenario(p)
 		d := s.AddDPDK("dpdk-t", []int{0, 1, 2, 3}, true, workload.HPW)
 		s.Start(harness.Default())
 		pin(s, 1, d.Cores(), 4, 5)
-		res := s.Run(warm, meas)
-		al.Add(c.label, float64(i), res.W("dpdk-t").AvgLatUs)
-		tl.Add(c.label, float64(i), res.W("dpdk-t").P99LatUs)
+		return s.Run(warm, meas)
+	})
+	for i, c := range cases {
+		al.Add(c.label, float64(i), results[i].W("dpdk-t").AvgLatUs)
+		tl.Add(c.label, float64(i), results[i].W("dpdk-t").P99LatUs)
 	}
 	return rep
 }
@@ -127,19 +146,22 @@ func AblationSSDParallelism(o Options) *Report {
 	leak128 := rep.AddSeries("leak-rate@128KB")
 	leak512 := rep.AddSeries("leak-rate@512KB")
 	warm, meas := o.windows(2, 3)
-	run := func(p harness.Params, kb int) *harness.Result {
+	pars := []int{8, 64}
+	kbs := []int{128, 512}
+	// Point order: (par, kb) grid, kb-minor.
+	results := runPoints(o, len(pars)*len(kbs), func(i int) *harness.Result {
+		p := microParams(o)
+		p.SSDParallelism = pars[i/len(kbs)]
 		s := harness.NewScenario(p)
-		f := s.AddFIO("fio", []int{0, 1, 2, 3}, kb<<10, 32, workload.LPW)
+		f := s.AddFIO("fio", []int{0, 1, 2, 3}, kbs[i%len(kbs)]<<10, 32, workload.LPW)
 		s.Start(harness.Default())
 		pin(s, 1, f.Cores(), 2, 3)
 		return s.Run(warm, meas)
-	}
-	for i, par := range []int{8, 64} {
-		p := microParams(o)
-		p.SSDParallelism = par
+	})
+	for i, par := range pars {
 		lbl := fmt.Sprintf("par=%d", par)
-		leak128.Add(lbl, float64(i), run(p, 128).W("fio").LeakRate)
-		leak512.Add(lbl, float64(i), run(p, 512).W("fio").LeakRate)
+		leak128.Add(lbl, float64(i), results[i*len(kbs)].W("fio").LeakRate)
+		leak512.Add(lbl, float64(i), results[i*len(kbs)+1].W("fio").LeakRate)
 	}
 	return rep
 }

@@ -54,36 +54,40 @@ func Fig11(o Options) *Report {
 		pkts = []int{64, 1024}
 	}
 	schemes := evalSchemes(true) // Fig. 11 compares Default, Isolate, A4 only
+	// Point order: scheme-major, packet-minor.
+	results := runPoints(o, len(schemes)*len(pkts), func(i int) *harness.Result {
+		mgr, pkt := schemes[i/len(pkts)], pkts[i%len(pkts)]
+		p := microParams(o)
+		p.PacketBytes = pkt
+		s := buildMicroEval(p, 2048)
+		s.Start(mgr)
+		return s.Run(warm, meas)
+	})
 	// raw[scheme][xmem][pkt] = IPC
 	type key struct {
-		scheme, wl, pkt string
+		scheme, wl string
+		pkt        int
 	}
 	rawIPC := map[key]float64{}
 	rawHit := map[key]float64{}
-	for _, mgr := range schemes {
-		for _, pkt := range pkts {
-			p := microParams(o)
-			p.PacketBytes = pkt
-			s := buildMicroEval(p, 2048)
-			s.Start(mgr)
-			res := s.Run(warm, meas)
-			for _, wl := range []string{"xmem1", "xmem2", "xmem3"} {
-				rawIPC[key{mgr.Name(), wl, kbLabel(pkt / 1)}] = res.W(wl).IPC
-				rawHit[key{mgr.Name(), wl, kbLabel(pkt / 1)}] = res.W(wl).LLCHitRate
-			}
+	for i, res := range results {
+		mgr, pkt := schemes[i/len(pkts)], pkts[i%len(pkts)]
+		for _, wl := range []string{"xmem1", "xmem2", "xmem3"} {
+			rawIPC[key{mgr.Name(), wl, pkt}] = res.W(wl).IPC
+			rawHit[key{mgr.Name(), wl, pkt}] = res.W(wl).LLCHitRate
 		}
 	}
 	// Normalize IPC to Default at the smallest packet size, per X-Mem.
 	base := map[string]float64{}
 	for _, wl := range []string{"xmem1", "xmem2", "xmem3"} {
-		base[wl] = rawIPC[key{"default", wl, kbLabel(pkts[0])}]
+		base[wl] = rawIPC[key{"default", wl, pkts[0]}]
 	}
 	for _, mgr := range schemes {
 		for _, wl := range []string{"xmem1", "xmem2", "xmem3"} {
 			ns := rep.AddSeries(fmt.Sprintf("perf-%s-%s", wl, mgr.Name()))
 			hs := rep.AddSeries(fmt.Sprintf("llchit-%s-%s", wl, mgr.Name()))
 			for _, pkt := range pkts {
-				k := key{mgr.Name(), wl, kbLabel(pkt)}
+				k := key{mgr.Name(), wl, pkt}
 				v := rawIPC[k]
 				if b := base[wl]; b > 0 {
 					v /= b
@@ -109,15 +113,20 @@ func Fig12(o Options) *Report {
 	if o.Quick {
 		blocks = []int{16, 128, 2048}
 	}
-	for _, mgr := range evalSchemes(true) {
+	schemes := evalSchemes(true)
+	results := runPoints(o, len(schemes)*len(blocks), func(i int) *harness.Result {
+		mgr, kb := schemes[i/len(blocks)], blocks[i%len(blocks)]
+		p := microParams(o)
+		p.PacketBytes = 1514
+		s := buildMicroEval(p, kb)
+		s.Start(mgr)
+		return s.Run(warm, meas)
+	})
+	for si, mgr := range schemes {
 		tl := rep.AddSeries("net-p99-us-" + mgr.Name())
 		tp := rep.AddSeries("net-read-GBps-" + mgr.Name())
-		for _, kb := range blocks {
-			p := microParams(o)
-			p.PacketBytes = 1514
-			s := buildMicroEval(p, kb)
-			s.Start(mgr)
-			res := s.Run(warm, meas)
+		for bi, kb := range blocks {
+			res := results[si*len(blocks)+bi]
 			lbl := kbLabel(kb)
 			tl.Add(lbl, float64(kb), res.W("dpdk-t").P99LatUs)
 			tp.Add(lbl, float64(kb), res.PortInGBps["nic0"])
@@ -212,7 +221,14 @@ func geomean(vs []float64) float64 {
 	return math.Exp(sum / float64(n))
 }
 
-// fig13 runs one real-world scenario across all schemes.
+// schemeRun pairs a scheme's scenario with its measurement window result.
+type schemeRun struct {
+	sc  *harness.Scenario
+	res *harness.Result
+}
+
+// fig13 runs one real-world scenario across all schemes (concurrently; the
+// Default scheme at index 0 provides the normalization baseline).
 func fig13(o Options, mix realWorldMix, id string) *Report {
 	rep := &Report{
 		ID:    id,
@@ -221,14 +237,17 @@ func fig13(o Options, mix realWorldMix, id string) *Report {
 	warm, meas := o.windows(20, 5)
 	all := append(append([]string{}, mix.hpws...), mix.lpws...)
 
+	schemes := evalSchemes(false) // the variant progression is the figure's point
+	runs := runPoints(o, len(schemes), func(i int) schemeRun {
+		sc, res := runRealWorld(o, mix, schemes[i], warm, meas)
+		return schemeRun{sc, res}
+	})
 	baseline := map[string]float64{}
-	for i, mgr := range evalSchemes(false) { // the variant progression is the figure's point
-		sc, res := runRealWorld(o, mix, mgr, warm, meas)
-		if i == 0 {
-			for _, wl := range all {
-				baseline[wl] = perfMetric(res.W(wl))
-			}
-		}
+	for _, wl := range all {
+		baseline[wl] = perfMetric(runs[0].res.W(wl))
+	}
+	for i, mgr := range schemes {
+		sc, res := runs[i].sc, runs[i].res
 		ps := rep.AddSeries("perf-" + mgr.Name())
 		var hpv, lpv, allv []float64
 		for j, wl := range all {
@@ -296,8 +315,13 @@ func Fig14(o Options) *Report {
 	memRd := rep.AddSeries("mem-read-GBps")
 	memWr := rep.AddSeries("mem-write-GBps")
 
-	for i, mgr := range evalSchemes(false) {
-		_, res := runRealWorld(o, mix, mgr, warm, meas)
+	schemes := evalSchemes(false)
+	results := runPoints(o, len(schemes), func(i int) *harness.Result {
+		_, res := runRealWorld(o, mix, schemes[i], warm, meas)
+		return res
+	})
+	for i, mgr := range schemes {
+		res := results[i]
 		lbl := mgr.Name()
 		x := float64(i)
 		fc := res.W("fastclick")
@@ -322,11 +346,9 @@ func Fig14(o Options) *Report {
 	return rep
 }
 
-// fig15Run runs the HPW-heavy mix under one A4 configuration and returns
-// (HP, LP, all) geomean performance relative to the Default model.
-func fig15Run(o Options, cfg core.Config, warm, meas float64, baseline map[string]float64) (hp, lp, all float64) {
-	mix := hpwHeavyMix()
-	_, res := runRealWorld(o, mix, harness.A4With(cfg), warm, meas)
+// mixGeomeans reduces one run of the HPW-heavy mix to (HP, LP, all) geomean
+// performance relative to the Default-model baseline.
+func mixGeomeans(mix realWorldMix, res *harness.Result, baseline map[string]float64) (hp, lp, all float64) {
 	names := append(append([]string{}, mix.hpws...), mix.lpws...)
 	var hpv, lpv, allv []float64
 	for j, wl := range names {
@@ -346,27 +368,40 @@ func fig15Run(o Options, cfg core.Config, warm, meas float64, baseline map[strin
 	return geomean(hpv), geomean(lpv), geomean(allv)
 }
 
-// fig15Baseline measures the Default-model reference for the sensitivity
-// studies.
-func fig15Baseline(o Options, warm, meas float64) map[string]float64 {
+// fig15Sweep runs the HPW-heavy mix under the Default baseline plus one A4
+// configuration per point, all on the sweep pool, and emits the three
+// geomean series.
+func fig15Sweep(o Options, rep *Report, warm, meas float64, labels []string, cfgs []core.Config) {
+	hpS := rep.AddSeries("avg-hp")
+	lpS := rep.AddSeries("avg-lp")
+	allS := rep.AddSeries("avg-all")
 	mix := hpwHeavyMix()
-	_, res := runRealWorld(o, mix, harness.Default(), warm, meas)
-	base := map[string]float64{}
+	// Point 0 is the Default-model baseline; points 1.. are the A4 configs.
+	results := runPoints(o, len(cfgs)+1, func(i int) *harness.Result {
+		mgr := harness.Default()
+		if i > 0 {
+			mgr = harness.A4With(cfgs[i-1])
+		}
+		_, res := runRealWorld(o, mix, mgr, warm, meas)
+		return res
+	})
+	baseline := map[string]float64{}
 	for _, wl := range append(append([]string{}, mix.hpws...), mix.lpws...) {
-		base[wl] = perfMetric(res.W(wl))
+		baseline[wl] = perfMetric(results[0].W(wl))
 	}
-	return base
+	for i, lbl := range labels {
+		hp, lp, all := mixGeomeans(mix, results[i+1], baseline)
+		hpS.Add(lbl, float64(i), hp)
+		lpS.Add(lbl, float64(i), lp)
+		allS.Add(lbl, float64(i), all)
+	}
 }
 
 // Fig15a reproduces Fig. 15a: sensitivity to the partitioning thresholds
 // T1 (HPW LLC hit) and T5 (antagonist miss).
 func Fig15a(o Options) *Report {
 	rep := &Report{ID: "15a", Title: "Sensitivity: partitioning thresholds T1 and T5"}
-	hpS := rep.AddSeries("avg-hp")
-	lpS := rep.AddSeries("avg-lp")
-	allS := rep.AddSeries("avg-all")
 	warm, meas := o.windows(20, 5)
-	base := fig15Baseline(o, warm, meas)
 
 	type pt struct {
 		label  string
@@ -379,15 +414,16 @@ func Fig15a(o Options) *Report {
 	if o.Quick {
 		pts = []pt{{"T5=90", 0.20, 0.90}, {"T1=30", 0.30, 0.90}}
 	}
+	labels := make([]string, len(pts))
+	cfgs := make([]core.Config, len(pts))
 	for i, c := range pts {
+		labels[i] = c.label
 		cfg := core.DefaultConfig()
 		cfg.Thresholds.HPWLLCHitThr = c.t1
 		cfg.Thresholds.AntCacheMissThr = c.t5
-		hp, lp, all := fig15Run(o, cfg, warm, meas, base)
-		hpS.Add(c.label, float64(i), hp)
-		lpS.Add(c.label, float64(i), lp)
-		allS.Add(c.label, float64(i), all)
+		cfgs[i] = cfg
 	}
+	fig15Sweep(o, rep, warm, meas, labels, cfgs)
 	return rep
 }
 
@@ -396,11 +432,7 @@ func Fig15a(o Options) *Report {
 // them past the workload's operating point stops FFSB-H from being detected.
 func Fig15b(o Options) *Report {
 	rep := &Report{ID: "15b", Title: "Sensitivity: antagonist detection thresholds T2-T4"}
-	hpS := rep.AddSeries("avg-hp")
-	lpS := rep.AddSeries("avg-lp")
-	allS := rep.AddSeries("avg-all")
 	warm, meas := o.windows(20, 5)
-	base := fig15Baseline(o, warm, meas)
 
 	type pt struct {
 		label      string
@@ -419,16 +451,17 @@ func Fig15b(o Options) *Report {
 	if o.Quick {
 		pts = pts[:2]
 	}
+	labels := make([]string, len(pts))
+	cfgs := make([]core.Config, len(pts))
 	for i, c := range pts {
+		labels[i] = c.label
 		cfg := core.DefaultConfig()
 		cfg.Thresholds.DMALkDCAMsThr = c.t2
 		cfg.Thresholds.DMALkIOTpThr = c.t3
 		cfg.Thresholds.DMALkLLCMsThr = c.t4
-		hp, lp, all := fig15Run(o, cfg, warm, meas, base)
-		hpS.Add(c.label, float64(i), hp)
-		lpS.Add(c.label, float64(i), lp)
-		allS.Add(c.label, float64(i), all)
+		cfgs[i] = cfg
 	}
+	fig15Sweep(o, rep, warm, meas, labels, cfgs)
 	return rep
 }
 
@@ -436,11 +469,7 @@ func Fig15b(o Options) *Report {
 // revert probes, including the oracle (no reverts).
 func Fig15c(o Options) *Report {
 	rep := &Report{ID: "15c", Title: "Sensitivity: stable interval vs. oracle"}
-	hpS := rep.AddSeries("avg-hp")
-	lpS := rep.AddSeries("avg-lp")
-	allS := rep.AddSeries("avg-all")
 	warm, meas := o.windows(20, 10)
-	base := fig15Baseline(o, warm, meas)
 
 	type pt struct {
 		label  string
@@ -453,17 +482,18 @@ func Fig15c(o Options) *Report {
 	if o.Quick {
 		pts = []pt{{"1s", 1, false}, {"10s", 10, false}, {"oracle", 0, true}}
 	}
+	labels := make([]string, len(pts))
+	cfgs := make([]core.Config, len(pts))
 	for i, c := range pts {
+		labels[i] = c.label
 		cfg := core.DefaultConfig()
 		if c.oracle {
 			cfg.Timing.Oracle = true
 		} else {
 			cfg.Timing.StableInterval = c.stable
 		}
-		hp, lp, all := fig15Run(o, cfg, warm, meas, base)
-		hpS.Add(c.label, float64(i), hp)
-		lpS.Add(c.label, float64(i), lp)
-		allS.Add(c.label, float64(i), all)
+		cfgs[i] = cfg
 	}
+	fig15Sweep(o, rep, warm, meas, labels, cfgs)
 	return rep
 }

@@ -8,7 +8,8 @@ import (
 )
 
 // fig3Sweep runs the §3.1 way sweep: DPDK (touch or not) pinned to way[5:6]
-// while X-Mem's two ways slide from [0:1] to [9:10].
+// while X-Mem's two ways slide from [0:1] to [9:10]. Sweep points are
+// independent scenarios and run on the sweep worker pool.
 func fig3Sweep(o Options, touch bool) *Report {
 	id, name := "3a", "DPDK-NT"
 	if touch {
@@ -28,14 +29,18 @@ func fig3Sweep(o Options, touch bool) *Report {
 	if o.Quick {
 		positions = []int{0, 3, 5, 9}
 	}
-	for _, lo := range positions {
+	results := runPoints(o, len(positions), func(i int) *harness.Result {
+		lo := positions[i]
 		s := harness.NewScenario(microParams(o))
 		d := s.AddDPDK(name, []int{0, 1, 2, 3}, touch, workload.HPW)
 		x := s.AddXMem("xmem", []int{4, 5}, defaultXMemWS, workload.Sequential, false, workload.HPW)
 		s.Start(harness.Default())
 		pin(s, 1, d.Cores(), 5, 6)
 		pin(s, 2, x.Cores(), lo, lo+1)
-		res := s.Run(warm, meas)
+		return s.Run(warm, meas)
+	})
+	for i, lo := range positions {
+		res := results[i]
 		lbl := wayLabel(lo, lo+1)
 		xpos := float64(lo)
 		xm.Add(lbl, xpos, res.W("xmem").LLCMissRate)
@@ -76,7 +81,8 @@ func Fig4(o Options) *Report {
 	if o.Quick {
 		cases = []cfg{{"on[9:10]", 9, true}, {"off[9:10]", 9, false}}
 	}
-	for i, c := range cases {
+	results := runPoints(o, len(cases), func(i int) *harness.Result {
+		c := cases[i]
 		s := harness.NewScenario(microParams(o))
 		var dpdk *workload.DPDK
 		if c.xlo >= 0 {
@@ -95,9 +101,12 @@ func Fig4(o Options) *Report {
 			pin(s, 1, dpdk.Cores(), 5, 6)
 		}
 		pin(s, 2, x.Cores(), xlo, xlo+1)
-		res := s.Run(warm, meas)
+		return s.Run(warm, meas)
+	})
+	for i, c := range cases {
+		res := results[i]
 		xm.Add(c.label, float64(i), res.W("xmem").LLCMissRate)
-		if dpdk != nil {
+		if c.xlo >= 0 {
 			tl.Add(c.label, float64(i), res.W("dpdk-t").P99LatUs)
 		}
 	}
@@ -125,26 +134,26 @@ func Fig5(o Options) *Report {
 	if o.Quick {
 		blocks = []int{4, 32, 128, 512, 2048}
 	}
-	for _, kb := range blocks {
-		for _, dca := range []bool{true, false} {
-			s := harness.NewScenario(microParams(o))
-			f := s.AddFIO("fio", []int{0, 1, 2, 3}, kb<<10, 32, workload.LPW)
-			s.Start(harness.Default())
-			if !dca {
-				s.H.PCIe().SetGlobalDCA(false)
-			}
-			pin(s, 1, f.Cores(), 2, 3)
-			res := s.Run(warm, meas)
-			lbl := kbLabel(kb)
-			if dca {
-				tpOn.Add(lbl, float64(kb), res.W("fio").IOReadGBps)
-				mrOn.Add(lbl, float64(kb), res.MemReadGBps)
-				leak.Add(lbl, float64(kb), res.W("fio").LeakRate)
-			} else {
-				tpOff.Add(lbl, float64(kb), res.W("fio").IOReadGBps)
-				mrOff.Add(lbl, float64(kb), res.MemReadGBps)
-			}
+	// Point order: (block, DCA on), (block, DCA off), next block, ...
+	results := runPoints(o, len(blocks)*2, func(i int) *harness.Result {
+		kb, dca := blocks[i/2], i%2 == 0
+		s := harness.NewScenario(microParams(o))
+		f := s.AddFIO("fio", []int{0, 1, 2, 3}, kb<<10, 32, workload.LPW)
+		s.Start(harness.Default())
+		if !dca {
+			s.H.PCIe().SetGlobalDCA(false)
 		}
+		pin(s, 1, f.Cores(), 2, 3)
+		return s.Run(warm, meas)
+	})
+	for i, kb := range blocks {
+		lbl := kbLabel(kb)
+		on, off := results[i*2], results[i*2+1]
+		tpOn.Add(lbl, float64(kb), on.W("fio").IOReadGBps)
+		mrOn.Add(lbl, float64(kb), on.MemReadGBps)
+		leak.Add(lbl, float64(kb), on.W("fio").LeakRate)
+		tpOff.Add(lbl, float64(kb), off.W("fio").IOReadGBps)
+		mrOff.Add(lbl, float64(kb), off.MemReadGBps)
 	}
 	return rep
 }
@@ -166,45 +175,41 @@ func Fig6(o Options) *Report {
 	if o.Quick {
 		blocks = []int{16, 64, 128, 512, 2048}
 	}
-	for _, kb := range blocks {
-		for _, dca := range []bool{true, false} {
-			s := harness.NewScenario(microParams(o))
-			d := s.AddDPDK("dpdk-t", []int{0, 1, 2, 3}, true, workload.HPW)
-			f := s.AddFIO("fio", []int{4, 5, 6, 7}, kb<<10, 32, workload.LPW)
+	// Points: (block, DCA on/off) pairs, then the two Fig. 6b solo runs.
+	n := len(blocks) * 2
+	results := runPoints(o, n+2, func(i int) *harness.Result {
+		s := harness.NewScenario(microParams(o))
+		d := s.AddDPDK("dpdk-t", []int{0, 1, 2, 3}, true, workload.HPW)
+		dca := i%2 == 0
+		if i < n {
+			f := s.AddFIO("fio", []int{4, 5, 6, 7}, blocks[i/2]<<10, 32, workload.LPW)
 			s.Start(harness.Default())
 			if !dca {
 				s.H.PCIe().SetGlobalDCA(false)
 			}
 			pin(s, 1, f.Cores(), 2, 3)
 			pin(s, 2, d.Cores(), 4, 5)
-			res := s.Run(warm, meas)
-			lbl := kbLabel(kb)
-			if dca {
-				alOn.Add(lbl, float64(kb), res.W("dpdk-t").AvgLatUs)
-				tlOn.Add(lbl, float64(kb), res.W("dpdk-t").P99LatUs)
-				tpOn.Add(lbl, float64(kb), res.W("fio").IOReadGBps)
-			} else {
-				alOff.Add(lbl, float64(kb), res.W("dpdk-t").AvgLatUs)
-			}
-		}
-	}
-	// Fig. 6b: DPDK-T solo.
-	for _, dca := range []bool{true, false} {
-		s := harness.NewScenario(microParams(o))
-		d := s.AddDPDK("dpdk-t", []int{0, 1, 2, 3}, true, workload.HPW)
-		s.Start(harness.Default())
-		if !dca {
-			s.H.PCIe().SetGlobalDCA(false)
-		}
-		pin(s, 1, d.Cores(), 4, 5)
-		res := s.Run(warm, meas)
-		if dca {
-			alOn.Add("solo", -1, res.W("dpdk-t").AvgLatUs)
-			tlOn.Add("solo", -1, res.W("dpdk-t").P99LatUs)
 		} else {
-			alOff.Add("solo", -1, res.W("dpdk-t").AvgLatUs)
+			s.Start(harness.Default())
+			if !dca {
+				s.H.PCIe().SetGlobalDCA(false)
+			}
+			pin(s, 1, d.Cores(), 4, 5)
 		}
+		return s.Run(warm, meas)
+	})
+	for i, kb := range blocks {
+		lbl := kbLabel(kb)
+		on, off := results[i*2], results[i*2+1]
+		alOn.Add(lbl, float64(kb), on.W("dpdk-t").AvgLatUs)
+		tlOn.Add(lbl, float64(kb), on.W("dpdk-t").P99LatUs)
+		tpOn.Add(lbl, float64(kb), on.W("fio").IOReadGBps)
+		alOff.Add(lbl, float64(kb), off.W("dpdk-t").AvgLatUs)
 	}
+	soloOn, soloOff := results[n], results[n+1]
+	alOn.Add("solo", -1, soloOn.W("dpdk-t").AvgLatUs)
+	tlOn.Add("solo", -1, soloOn.W("dpdk-t").P99LatUs)
+	alOff.Add("solo", -1, soloOff.W("dpdk-t").AvgLatUs)
 	return rep
 }
 
@@ -239,12 +244,16 @@ func Fig7(o Options) *Report {
 			strategies = append(strategies, strat{fmt.Sprintf("%dE", n), ways - 2 - n, ways - 3})
 		}
 	}
-	for i, st := range strategies {
+	results := runPoints(o, len(strategies), func(i int) *harness.Result {
+		st := strategies[i]
 		s := harness.NewScenario(microParams(o))
 		d := s.AddDPDK("dpdk-t", []int{0, 1, 2, 3}, true, workload.HPW)
 		s.Start(harness.Default())
 		pin(s, 1, d.Cores(), st.lo, st.hi)
-		res := s.Run(warm, meas)
+		return s.Run(warm, meas)
+	})
+	for i, st := range strategies {
+		res := results[i]
 		al.Add(st.label, float64(i), res.W("dpdk-t").AvgLatUs)
 		tl.Add(st.label, float64(i), res.W("dpdk-t").P99LatUs)
 		mr.Add(st.label, float64(i), res.MemReadGBps)
@@ -271,26 +280,25 @@ func Fig8a(o Options) *Report {
 	if o.Quick {
 		blocks = []int{32, 128, 512}
 	}
-	for _, kb := range blocks {
-		for _, ssdDCA := range []bool{true, false} {
-			s := harness.NewScenario(microParams(o))
-			d := s.AddDPDK("dpdk-t", []int{0, 1, 2, 3}, true, workload.HPW)
-			f := s.AddFIO("fio", []int{4, 5, 6, 7}, kb<<10, 32, workload.LPW)
-			s.Start(harness.Default())
-			s.H.PCIe().SetPortDCA(harness.SSDPort, ssdDCA)
-			pin(s, 1, f.Cores(), 2, 3)
-			pin(s, 2, d.Cores(), 4, 5)
-			res := s.Run(warm, meas)
-			lbl := kbLabel(kb)
-			if ssdDCA {
-				alOn.Add(lbl, float64(kb), res.W("dpdk-t").AvgLatUs)
-				tlOn.Add(lbl, float64(kb), res.W("dpdk-t").P99LatUs)
-			} else {
-				alOff.Add(lbl, float64(kb), res.W("dpdk-t").AvgLatUs)
-				tlOff.Add(lbl, float64(kb), res.W("dpdk-t").P99LatUs)
-				tpOff.Add(lbl, float64(kb), res.W("fio").IOReadGBps)
-			}
-		}
+	results := runPoints(o, len(blocks)*2, func(i int) *harness.Result {
+		kb, ssdDCA := blocks[i/2], i%2 == 0
+		s := harness.NewScenario(microParams(o))
+		d := s.AddDPDK("dpdk-t", []int{0, 1, 2, 3}, true, workload.HPW)
+		f := s.AddFIO("fio", []int{4, 5, 6, 7}, kb<<10, 32, workload.LPW)
+		s.Start(harness.Default())
+		s.H.PCIe().SetPortDCA(harness.SSDPort, ssdDCA)
+		pin(s, 1, f.Cores(), 2, 3)
+		pin(s, 2, d.Cores(), 4, 5)
+		return s.Run(warm, meas)
+	})
+	for i, kb := range blocks {
+		lbl := kbLabel(kb)
+		on, off := results[i*2], results[i*2+1]
+		alOn.Add(lbl, float64(kb), on.W("dpdk-t").AvgLatUs)
+		tlOn.Add(lbl, float64(kb), on.W("dpdk-t").P99LatUs)
+		alOff.Add(lbl, float64(kb), off.W("dpdk-t").AvgLatUs)
+		tlOff.Add(lbl, float64(kb), off.W("dpdk-t").P99LatUs)
+		tpOff.Add(lbl, float64(kb), off.W("fio").IOReadGBps)
 	}
 	return rep
 }
@@ -314,25 +322,29 @@ func Fig8b(o Options) *Report {
 	if o.Quick {
 		his = []int{5, 2}
 	}
-	for _, hi := range his {
+	// Points: one per FIO way range, plus the X-Mem solo reference.
+	results := runPoints(o, len(his)+1, func(i int) *harness.Result {
 		s := harness.NewScenario(microParams(o))
-		f := s.AddFIO("fio", []int{0, 1, 2, 3}, 2<<20, 32, workload.LPW)
-		x := s.AddXMem("xmem", []int{4, 5}, fig8bWS, workload.Sequential, false, workload.HPW)
-		s.Start(harness.Default())
-		s.H.PCIe().SetPortDCA(harness.SSDPort, false)
-		pin(s, 1, f.Cores(), 2, hi)
-		pin(s, 2, x.Cores(), 2, 5)
-		res := s.Run(warm, meas)
+		if i < len(his) {
+			f := s.AddFIO("fio", []int{0, 1, 2, 3}, 2<<20, 32, workload.LPW)
+			x := s.AddXMem("xmem", []int{4, 5}, fig8bWS, workload.Sequential, false, workload.HPW)
+			s.Start(harness.Default())
+			s.H.PCIe().SetPortDCA(harness.SSDPort, false)
+			pin(s, 1, f.Cores(), 2, his[i])
+			pin(s, 2, x.Cores(), 2, 5)
+		} else {
+			x := s.AddXMem("xmem", []int{4, 5}, fig8bWS, workload.Sequential, false, workload.HPW)
+			s.Start(harness.Default())
+			pin(s, 2, x.Cores(), 2, 5)
+		}
+		return s.Run(warm, meas)
+	})
+	for i, hi := range his {
+		res := results[i]
 		lbl := wayLabel(2, hi)
 		xm.Add(lbl, float64(hi), res.W("xmem").LLCMissRate)
 		tp.Add(lbl, float64(hi), res.W("fio").IOReadGBps)
 	}
-	// X-Mem solo reference.
-	s := harness.NewScenario(microParams(o))
-	x := s.AddXMem("xmem", []int{4, 5}, fig8bWS, workload.Sequential, false, workload.HPW)
-	s.Start(harness.Default())
-	pin(s, 2, x.Cores(), 2, 5)
-	res := s.Run(warm, meas)
-	xm.Add("solo", 6, res.W("xmem").LLCMissRate)
+	xm.Add("solo", 6, results[len(his)].W("xmem").LLCMissRate)
 	return rep
 }

@@ -27,6 +27,11 @@ type Options struct {
 	Quick bool
 	// Verbose adds controller event notes to reports.
 	Verbose bool
+	// Workers caps the sweep worker pool: independent scenario points of a
+	// figure run concurrently on up to this many goroutines. Zero means
+	// GOMAXPROCS; 1 forces serial execution. Each point owns its engine and
+	// seeded RNGs, so reports are identical at any worker count.
+	Workers int
 }
 
 func (o Options) windows(defWarm, defMeas float64) (float64, float64) {

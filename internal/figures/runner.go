@@ -1,0 +1,85 @@
+package figures
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The sweep runner executes independent scenario points of a figure
+// concurrently. Every point builds its own harness.Scenario (engine, seeded
+// RNGs, hierarchy), so points share no mutable state and the reports are
+// bit-identical to serial execution regardless of scheduling; only the
+// assembly order matters, and callers assemble from an index-addressed
+// result slice after the pool drains.
+
+// Workers resolves the worker-pool degree for o: Options.Workers when
+// positive, else GOMAXPROCS.
+func (o Options) workerCount(points int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > points {
+		w = points
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// forEachPoint runs fn(i) for every i in [0, n), spreading the calls over
+// the sweep worker pool. It returns when all points are done. A panic in
+// any point is re-raised on the caller's goroutine.
+func forEachPoint(o Options, n int, fn func(i int)) {
+	w := o.workerCount(n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// A panic value is rewrapped in a single concrete type: atomic.Value
+	// panics on stores of differing concrete types, which would otherwise
+	// mask the first panic if two points fail concurrently.
+	type panicInfo struct{ v any }
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Value
+	)
+	next.Store(-1)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, panicInfo{r})
+				}
+			}()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(r.(panicInfo).v)
+	}
+}
+
+// runPoints is the common sweep shape: one scenario-building closure per
+// point, results collected by index.
+func runPoints[T any](o Options, n int, point func(i int) T) []T {
+	out := make([]T, n)
+	forEachPoint(o, n, func(i int) {
+		out[i] = point(i)
+	})
+	return out
+}

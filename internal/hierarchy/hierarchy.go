@@ -162,14 +162,14 @@ func (h *Hierarchy) Fabric() *pcm.Fabric { return h.fabric }
 func (h *Hierarchy) CPURead(core int, wl pcm.WorkloadID, addr uint64, ioData bool) Result {
 	c := h.fabric.C(wl)
 	m := h.mlcs[core]
-	if line, _ := m.Lookup(addr); line != nil {
-		m.Touch(line)
+	if way := m.ProbeWay(addr); way >= 0 {
+		m.Touch(addr, way)
 		c.MLCHits.Inc()
 		return Result{LevelMLC, mem.LatencyMLCHit}
 	}
 	c.MLCMisses.Inc()
 
-	if line, way := h.llc.Lookup(addr); line != nil {
+	if line, way := h.llc.Probe(addr); way >= 0 {
 		c.LLCHits.Inc()
 		flags := cache.LineFlags(0)
 		if line.IO() || ioData {
@@ -180,31 +180,29 @@ func (h *Hierarchy) CPURead(core int, wl pcm.WorkloadID, addr uint64, ioData boo
 			if h.chance(h.cfg.MigrationStickPct) {
 				// O1 migration: the DMA-written LLC-exclusive line moves to
 				// the inclusive ways and becomes shared LLC-inclusive.
-				migrated, evicted := h.llc.MigrateToInclusive(addr)
+				_, evicted := h.llc.MigrateToInclusive(addr)
 				if evicted.Valid {
 					c.DirEvictions.Inc()
 					h.retire(evicted)
-				}
-				if migrated != nil {
-					migrated.Set(cache.FlagInclusive)
 				}
 			} else {
 				// The replacement race went the other way: the LLC copy is
 				// promoted out; the eventual MLC eviction will re-allocate
 				// it under the CAT mask (DMA bloat).
-				h.llc.Invalidate(addr)
+				h.llc.InvalidateWay(addr, way)
 			}
 		case h.llc.RoleOf(way) == llc.RoleInclusive:
 			// Already in an inclusive way: stays resident, becomes inclusive.
-			line.Set(cache.FlagInclusive)
+			set := cache.FlagInclusive
 			if line.IO() {
-				line.Set(cache.FlagConsumed)
+				set |= cache.FlagConsumed
 			}
-			h.llc.Touch(line)
+			h.llc.MutateFlags(addr, way, set, 0)
+			h.llc.Touch(addr, way)
 		default:
 			// Non-inclusive victim-cache behaviour: promotion to the MLC
 			// removes the LLC copy.
-			h.llc.Invalidate(addr)
+			h.llc.InvalidateWay(addr, way)
 		}
 		h.fillMLC(core, wl, addr, flags)
 		return Result{LevelLLC, mem.LatencyLLCHit}
@@ -241,9 +239,9 @@ func (h *Hierarchy) CPURead(core int, wl pcm.WorkloadID, addr uint64, ioData boo
 func (h *Hierarchy) CPUWrite(core int, wl pcm.WorkloadID, addr uint64, ioData bool) Result {
 	c := h.fabric.C(wl)
 	m := h.mlcs[core]
-	if line, _ := m.Lookup(addr); line != nil {
-		m.Touch(line)
-		line.Set(cache.FlagDirty)
+	if way := m.ProbeWay(addr); way >= 0 {
+		m.Touch(addr, way)
+		m.MutateFlags(addr, way, cache.FlagDirty, 0)
 		c.MLCHits.Inc()
 		return Result{LevelMLC, mem.LatencyMLCHit}
 	}
@@ -251,10 +249,9 @@ func (h *Hierarchy) CPUWrite(core int, wl pcm.WorkloadID, addr uint64, ioData bo
 
 	level := LevelMem
 	cycles := mem.LatencyDRAM
-	if line, _ := h.llc.Lookup(addr); line != nil {
+	// RFO invalidates the LLC copy: a modified line cannot stay shared.
+	if _, ok := h.llc.Invalidate(addr); ok {
 		c.LLCHits.Inc()
-		// RFO invalidates the LLC copy: a modified line cannot stay shared.
-		h.llc.Invalidate(addr)
 		level, cycles = LevelLLC, mem.LatencyLLCHit
 	} else if owner := h.dir.Lookup(addr); owner >= 0 && owner != core {
 		// RFO snoop: invalidate the remote MLC copy and take ownership.
@@ -297,11 +294,12 @@ func (h *Hierarchy) fillMLC(core int, wl pcm.WorkloadID, addr uint64, flags cach
 
 	// If the victim is still LLC-resident (an LLC-inclusive line), no new
 	// allocation happens: the LLC copy simply stops being inclusive.
-	if line, _ := h.llc.Lookup(victim.Addr); line != nil {
-		line.Clear(cache.FlagInclusive)
+	if w := h.llc.ProbeWay(victim.Addr); w >= 0 {
+		var set cache.LineFlags
 		if victim.Dirty() {
-			line.Set(cache.FlagDirty)
+			set = cache.FlagDirty
 		}
+		h.llc.MutateFlags(victim.Addr, w, set, cache.FlagInclusive)
 		return
 	}
 
@@ -366,19 +364,18 @@ func (h *Hierarchy) DMAWrite(port int, wl pcm.WorkloadID, addr uint64) {
 	c.IOReadBytes.Add(mem.LineBytes)
 
 	if h.pcie.DCAActive(port) {
-		if line, _ := h.llc.Lookup(addr); line != nil {
+		if line, way := h.llc.Probe(addr); way >= 0 {
 			// Write update in place, in whatever way the line occupies.
 			// Updates do not promote the line: DDIO writes refresh data, not
 			// replacement age, so stale ring buffers age out of non-DCA ways.
 			c.DCAHits.Inc()
-			line.Set(cache.FlagIO | cache.FlagDirty)
-			line.Clear(cache.FlagConsumed)
-			line.Owner = int16(wl)
-			line.Port = int8(port)
+			clear := cache.FlagConsumed
 			if line.Inclusive() {
 				h.invalidateMLCCopy(addr)
-				line.Clear(cache.FlagInclusive)
+				clear |= cache.FlagInclusive
 			}
+			h.llc.MutateFlags(addr, way, cache.FlagIO|cache.FlagDirty, clear)
+			h.llc.SetOwnerPort(addr, way, int16(wl), int8(port))
 			return
 		}
 		// Stale copy in an MLC only: invalidate before allocating.
@@ -412,15 +409,15 @@ func (h *Hierarchy) DMARead(port int, wl pcm.WorkloadID, addr uint64) {
 	p.AccountOutbound(mem.LineBytes)
 	c.IOWriteBytes.Add(mem.LineBytes)
 
-	if line, _ := h.llc.Lookup(addr); line != nil {
-		h.llc.Touch(line)
+	if way := h.llc.ProbeWay(addr); way >= 0 {
+		h.llc.Touch(addr, way)
 		return
 	}
 	if core := h.dir.Lookup(addr); core >= 0 {
 		// Copy the MLC line into a read-allocated slot in the inclusive ways.
-		var owner int16 = int16(wl)
+		owner := int16(wl)
 		var flags cache.LineFlags
-		if l, _ := h.mlcs[core].Lookup(addr); l != nil {
+		if l, w := h.mlcs[core].Probe(addr); w >= 0 {
 			owner = l.Owner
 			if l.Dirty() {
 				flags |= cache.FlagDirty

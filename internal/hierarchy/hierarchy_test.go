@@ -29,10 +29,10 @@ func TestCPUReadMissFillsMLCOnly(t *testing.T) {
 	if res.Level != LevelMem {
 		t.Fatalf("cold read level = %v", res.Level)
 	}
-	if l, _ := h.MLC(0).Lookup(100); l == nil {
+	if l, _ := h.MLC(0).Probe(100); !l.Valid {
 		t.Fatalf("line should be in the MLC")
 	}
-	if l, _ := h.LLC().Lookup(100); l != nil {
+	if l, _ := h.LLC().Probe(100); l.Valid {
 		t.Fatalf("non-inclusive fill must not allocate in the LLC")
 	}
 	if h.Directory().Lookup(100) != 0 {
@@ -73,10 +73,10 @@ func TestVictimCacheInsertion(t *testing.T) {
 	h.CPURead(0, ids[0], 100, false)
 	fillMLCSet(h, 0, ids[0], 100)
 	// 100 must have been evicted from the MLC into the LLC.
-	if l, _ := h.MLC(0).Lookup(100); l != nil {
+	if l, _ := h.MLC(0).Probe(100); l.Valid {
 		t.Fatalf("line should have left the MLC")
 	}
-	if l, _ := h.LLC().Lookup(100); l == nil {
+	if l, _ := h.LLC().Probe(100); !l.Valid {
 		t.Fatalf("victim must be cached in the LLC")
 	}
 	// A re-read hits the LLC and promotes back, invalidating the LLC copy
@@ -85,7 +85,7 @@ func TestVictimCacheInsertion(t *testing.T) {
 	if res.Level != LevelLLC {
 		t.Fatalf("re-read level = %v", res.Level)
 	}
-	if l, _ := h.LLC().Lookup(100); l != nil {
+	if l, _ := h.LLC().Probe(100); l.Valid {
 		t.Fatalf("promotion must invalidate the LLC copy of a non-I/O line")
 	}
 }
@@ -112,7 +112,7 @@ func TestDMAWriteAllocatesDCAWays(t *testing.T) {
 	if h.LLC().RoleOf(w) != llc.RoleDCA {
 		t.Fatalf("DMA write-allocate in way %d (role %v)", w, h.LLC().RoleOf(w))
 	}
-	l, _ := h.LLC().Lookup(500)
+	l, _ := h.LLC().Probe(500)
 	if !l.IO() || !l.Dirty() || l.Consumed() {
 		t.Fatalf("DMA line flags wrong: %+v", l)
 	}
@@ -141,7 +141,7 @@ func TestDMAWriteUpdateOutsideDCAWays(t *testing.T) {
 	if got := h.LLC().WayOf(100); got != w {
 		t.Fatalf("write update moved the line: %d -> %d", w, got)
 	}
-	l, _ := h.LLC().Lookup(100)
+	l, _ := h.LLC().Probe(100)
 	if !l.IO() || l.Consumed() {
 		t.Fatalf("update must mark the line unconsumed I/O: %+v", l)
 	}
@@ -195,7 +195,7 @@ func TestO1MigrationAndDirectoryContention(t *testing.T) {
 	if h.LLC().RoleOf(w) != llc.RoleInclusive {
 		t.Fatalf("consumed DMA line must migrate to inclusive ways, got way %d", w)
 	}
-	l, _ := h.LLC().Lookup(3 * sets)
+	l, _ := h.LLC().Probe(3 * sets)
 	if !l.Inclusive() || !l.Consumed() {
 		t.Fatalf("migrated line state wrong: %+v", l)
 	}
@@ -224,7 +224,7 @@ func TestDMABloat(t *testing.T) {
 	}
 	h.DMAWrite(0, id, 900)
 	h.CPURead(0, id, 900, true) // consume: LLC copy dropped (race lost)
-	if l, _ := h.LLC().Lookup(900); l != nil {
+	if l, _ := h.LLC().Probe(900); l.Valid {
 		t.Fatalf("with MigrationStickPct=0 the LLC copy should be invalidated")
 	}
 	fillMLCSet(h, 0, id, 900)
@@ -242,7 +242,7 @@ func TestDCAOffPathInvalidates(t *testing.T) {
 	h, ids := newTest(t, 1)
 	h.PCIe().SetGlobalDCA(false)
 	h.DMAWrite(0, ids[0], 700)
-	if l, _ := h.LLC().Lookup(700); l != nil {
+	if l, _ := h.LLC().Probe(700); l.Valid {
 		t.Fatalf("DCA off must not allocate in the LLC")
 	}
 	if h.Memory().WriteBytes() == 0 {
@@ -253,7 +253,7 @@ func TestDCAOffPathInvalidates(t *testing.T) {
 	h.CPURead(0, ids[0], 701, false)
 	h.PCIe().SetGlobalDCA(false)
 	h.DMAWrite(0, ids[0], 701)
-	if l, _ := h.MLC(0).Lookup(701); l != nil {
+	if l, _ := h.MLC(0).Probe(701); l.Valid {
 		t.Fatalf("device write must invalidate the MLC copy")
 	}
 }
@@ -262,11 +262,11 @@ func TestPerPortDCA(t *testing.T) {
 	h, ids := newTest(t, 1)
 	h.PCIe().SetPortDCA(1, false) // SSD port off, NIC port on
 	h.DMAWrite(1, ids[0], 800)
-	if l, _ := h.LLC().Lookup(800); l != nil {
+	if l, _ := h.LLC().Probe(800); l.Valid {
 		t.Fatalf("port-1 DMA must bypass the LLC")
 	}
 	h.DMAWrite(0, ids[0], 801)
-	if l, _ := h.LLC().Lookup(801); l == nil {
+	if l, _ := h.LLC().Probe(801); !l.Valid {
 		t.Fatalf("port-0 DMA must still allocate")
 	}
 }
@@ -300,14 +300,14 @@ func TestDMAReadEgress(t *testing.T) {
 func TestCPUWriteRFO(t *testing.T) {
 	h, ids := newTest(t, 1)
 	h.CPUWrite(0, ids[0], 300, false)
-	l, _ := h.MLC(0).Lookup(300)
-	if l == nil || !l.Dirty() {
+	l, _ := h.MLC(0).Probe(300)
+	if !l.Valid || !l.Dirty() {
 		t.Fatalf("store must dirty the MLC line")
 	}
 	// Store to an LLC-resident line invalidates the shared copy.
 	h.DMAWrite(0, ids[0], 301)
 	h.CPUWrite(0, ids[0], 301, true)
-	if l, _ := h.LLC().Lookup(301); l != nil {
+	if l, _ := h.LLC().Probe(301); l.Valid {
 		t.Fatalf("RFO must invalidate the LLC copy")
 	}
 }
@@ -319,7 +319,7 @@ func TestInclusiveEvictionBackInvalidatesMLC(t *testing.T) {
 	// Consume a DMA line so it sits in an inclusive way and the MLC.
 	h.DMAWrite(0, ids[0], 1*sets)
 	h.CPURead(0, ids[0], 1*sets, true)
-	if l, _ := h.MLC(0).Lookup(1 * sets); l == nil {
+	if l, _ := h.MLC(0).Probe(1 * sets); !l.Valid {
 		t.Fatalf("setup: line must be in MLC")
 	}
 	// Thrash the inclusive ways of set 0 with two more migrations.
@@ -329,8 +329,8 @@ func TestInclusiveEvictionBackInvalidatesMLC(t *testing.T) {
 	h.CPURead(0, ids[0], 3*sets, true)
 	// The first line was evicted from the inclusive way; its MLC copy must
 	// have been back-invalidated with it.
-	if l, _ := h.LLC().Lookup(1 * sets); l == nil {
-		if ml, _ := h.MLC(0).Lookup(1 * sets); ml != nil {
+	if l, _ := h.LLC().Probe(1 * sets); !l.Valid {
+		if ml, _ := h.MLC(0).Probe(1 * sets); ml.Valid {
 			t.Fatalf("inclusive eviction must back-invalidate the MLC copy")
 		}
 	}
@@ -349,10 +349,10 @@ func TestCrossCoreTransfer(t *testing.T) {
 	if h.Memory().ReadBytes() != memReads {
 		t.Fatalf("cache-to-cache transfer must not read DRAM")
 	}
-	if l, _ := h.MLC(0).Lookup(100); l != nil {
+	if l, _ := h.MLC(0).Probe(100); l.Valid {
 		t.Fatalf("old owner must be invalidated")
 	}
-	if l, _ := h.MLC(1).Lookup(100); l == nil || !l.Dirty() {
+	if l, _ := h.MLC(1).Probe(100); !l.Valid || !l.Dirty() {
 		t.Fatalf("dirty state must transfer to the new owner")
 	}
 	if h.Directory().Lookup(100) != 1 {
@@ -360,7 +360,7 @@ func TestCrossCoreTransfer(t *testing.T) {
 	}
 	// RFO from core 0 pulls it back.
 	h.CPUWrite(0, ids[0], 100, false)
-	if l, _ := h.MLC(1).Lookup(100); l != nil {
+	if l, _ := h.MLC(1).Probe(100); l.Valid {
 		t.Fatalf("RFO must invalidate the remote copy")
 	}
 }
@@ -373,7 +373,7 @@ func TestFlushAll(t *testing.T) {
 	if h.LLC().Array().CountValid(cache.MaskAll(h.Config().LLC.Ways)) != 0 {
 		t.Fatalf("LLC not flushed")
 	}
-	if l, _ := h.MLC(0).Lookup(100); l != nil {
+	if l, _ := h.MLC(0).Probe(100); l.Valid {
 		t.Fatalf("MLC not flushed")
 	}
 	if h.Directory().CountValid() != 0 {

@@ -43,8 +43,8 @@ func (g Geometry) Validate() error {
 	switch {
 	case g.Sets <= 0 || g.Sets&(g.Sets-1) != 0:
 		return errGeometry("Sets must be a positive power of two")
-	case g.Ways <= 0 || g.Ways > 32:
-		return errGeometry("Ways must be in [1,32]")
+	case g.Ways <= 0 || g.Ways > cache.MaxWays:
+		return errGeometry("Ways must be in [1,16]")
 	case g.NumDCA < 0 || g.NumInclusive < 0:
 		return errGeometry("way role counts must be non-negative")
 	case g.NumDCA+g.NumInclusive > g.Ways:
@@ -112,11 +112,27 @@ func (l *LLC) StandardMask() cache.WayMask {
 	return l.allMask &^ l.dcaMask &^ l.inclusiveMask
 }
 
-// Lookup probes the LLC.
-func (l *LLC) Lookup(addr uint64) (*cache.Line, int) { return l.arr.Lookup(addr) }
+// Probe looks up addr, returning a copy of its line and its way, or
+// (Line{}, -1) on a miss.
+func (l *LLC) Probe(addr uint64) (cache.Line, int) { return l.arr.Probe(addr) }
 
-// Touch promotes a line to MRU.
-func (l *LLC) Touch(line *cache.Line) { l.arr.Touch(line) }
+// ProbeWay returns the way addr occupies, or -1, without materializing the
+// line metadata.
+func (l *LLC) ProbeWay(addr uint64) int { return l.arr.ProbeWay(addr) }
+
+// Touch promotes the line at (addr, way) to MRU.
+func (l *LLC) Touch(addr uint64, way int) { l.arr.Touch(addr, way) }
+
+// MutateFlags sets then clears flag bits on the resident line at (addr, way).
+func (l *LLC) MutateFlags(addr uint64, way int, set, clear cache.LineFlags) {
+	l.arr.MutateFlags(addr, way, set, clear)
+}
+
+// SetOwnerPort reassigns the owner and port of the resident line at
+// (addr, way), keeping occupancy counters consistent.
+func (l *LLC) SetOwnerPort(addr uint64, way int, owner int16, port int8) {
+	l.arr.SetOwnerPort(addr, way, owner, port)
+}
 
 // InsertDCA write-allocates a DMA line into the DCA ways, returning the
 // eviction victim (Valid=false if an empty slot was used).
@@ -138,18 +154,25 @@ func (l *LLC) InsertInclusive(addr uint64, owner int16, port int8, flags cache.L
 
 // MigrateToInclusive implements observation O1: a DMA-written LLC-exclusive
 // line read by a core migrates into the inclusive ways and becomes
-// LLC-inclusive. Returns the line in its new slot and the victim evicted
-// from the inclusive ways (Valid=false if none).
-func (l *LLC) MigrateToInclusive(addr uint64) (*cache.Line, cache.Line) {
-	moved, evicted := l.arr.MoveToWay(addr, l.inclusiveMask)
-	if moved != nil {
-		moved.Set(cache.FlagInclusive | cache.FlagConsumed)
+// LLC-inclusive. Returns the migrated line's way (-1 if addr was not
+// resident) and the victim evicted from the inclusive ways (Valid=false if
+// none).
+func (l *LLC) MigrateToInclusive(addr uint64) (int, cache.Line) {
+	_, way, evicted := l.arr.MoveToWay(addr, l.inclusiveMask)
+	if way >= 0 {
+		l.arr.MutateFlags(addr, way, cache.FlagInclusive|cache.FlagConsumed, 0)
 	}
-	return moved, evicted
+	return way, evicted
 }
 
 // Invalidate drops addr from the LLC if present.
 func (l *LLC) Invalidate(addr uint64) (cache.Line, bool) { return l.arr.Invalidate(addr) }
+
+// InvalidateWay drops the resident line at (addr, way) — the way a
+// preceding Probe returned — without re-scanning the set.
+func (l *LLC) InvalidateWay(addr uint64, way int) cache.Line {
+	return l.arr.InvalidateWay(addr, way)
+}
 
 // WayOf reports which way addr occupies, or -1.
 func (l *LLC) WayOf(addr uint64) int { return l.arr.WayOf(addr) }

@@ -67,8 +67,8 @@ func TestInsertDCAConfinement(t *testing.T) {
 		if way != 0 && way != 1 {
 			t.Fatalf("DCA insert landed in way %d", way)
 		}
-		line, _ := l.Lookup(addr)
-		if line == nil || !line.IO() || !line.Dirty() {
+		line, _ := l.Probe(addr)
+		if !line.Valid || !line.IO() || !line.Dirty() {
 			t.Fatalf("DCA line metadata wrong: %+v", line)
 		}
 	}
@@ -80,7 +80,7 @@ func TestInsertInclusiveConfinement(t *testing.T) {
 	if way != 9 && way != 10 {
 		t.Fatalf("inclusive insert landed in way %d", way)
 	}
-	line, _ := l.Lookup(42)
+	line, _ := l.Probe(42)
 	if !line.Inclusive() {
 		t.Fatalf("inclusive flag not set")
 	}
@@ -94,9 +94,10 @@ func TestMigrateToInclusive(t *testing.T) {
 	l.InsertInclusive(set0(2), 1, -1, 0)
 	// A DMA line in a DCA way migrates and evicts an inclusive-way victim.
 	l.InsertDCA(set0(3), 2, 0)
-	moved, evicted := l.MigrateToInclusive(set0(3))
-	if moved == nil || !moved.Inclusive() || !moved.Consumed() {
-		t.Fatalf("migration state wrong: %+v", moved)
+	mway, evicted := l.MigrateToInclusive(set0(3))
+	moved, _ := l.Probe(set0(3))
+	if mway < 0 || !moved.Inclusive() || !moved.Consumed() {
+		t.Fatalf("migration state wrong: %+v (way %d)", moved, mway)
 	}
 	if w := l.WayOf(set0(3)); w != 9 && w != 10 {
 		t.Fatalf("migrated line in way %d", w)
@@ -105,8 +106,8 @@ func TestMigrateToInclusive(t *testing.T) {
 		t.Fatalf("expected an inclusive-way eviction")
 	}
 	// Migrating a non-resident line is a no-op.
-	if m, _ := l.MigrateToInclusive(set0(99)); m != nil {
-		t.Errorf("migrating a missing line should return nil")
+	if w, _ := l.MigrateToInclusive(set0(99)); w >= 0 {
+		t.Errorf("migrating a missing line should report a miss")
 	}
 }
 
@@ -141,8 +142,8 @@ func TestOccupancySnapshot(t *testing.T) {
 	// Two DCA lines (one consumed), one inclusive line, one standard line.
 	l.InsertDCA(1, 3, 0)
 	l.InsertDCA(2, 3, 0)
-	if line, _ := l.Lookup(2); line != nil {
-		line.Set(cache.FlagConsumed)
+	if _, w := l.Probe(2); w >= 0 {
+		l.MutateFlags(2, w, cache.FlagConsumed, 0)
 	}
 	l.InsertInclusive(3, 4, -1, 0)
 	l.InsertVictim(4, cache.MaskRange(4, 4), 5, -1, 0)

@@ -20,7 +20,11 @@ type Occupancy struct {
 	Capacity map[WayRole]int
 }
 
-// Snapshot walks the array once and builds the occupancy view.
+// Snapshot builds the occupancy view. Ownership and validity come from the
+// cache array's incremental per-(owner, way) counters in O(ways x owners);
+// only the I/O-flag tallies still need a pass over the valid lines, since
+// the I/O and consumed populations are not counter-tracked (flag updates
+// through MutateFlags are too frequent and varied to account per way).
 func (l *LLC) Snapshot() *Occupancy {
 	o := &Occupancy{
 		ByOwner:      map[WayRole]map[int16]int{},
@@ -37,13 +41,17 @@ func (l *LLC) Snapshot() *Occupancy {
 	o.Capacity[RoleInclusive] = g.Sets * g.NumInclusive
 	o.Capacity[RoleStandard] = g.Sets * (g.Ways - g.NumDCA - g.NumInclusive)
 
-	l.arr.ForEach(func(set, way int, line *cache.Line) {
+	for way := 0; way < g.Ways; way++ {
 		role := l.RoleOf(way)
-		o.Valid[role]++
-		if line.Owner >= 0 {
-			o.ByOwner[role][line.Owner]++
-		}
+		o.Valid[role] += l.arr.ValidInWay(way)
+		byOwner := o.ByOwner[role]
+		l.arr.OwnersInWay(way, func(owner int16, n int) {
+			byOwner[owner] += n
+		})
+	}
+	l.arr.ForEach(func(set, way int, line *cache.Line) {
 		if line.IO() {
+			role := l.RoleOf(way)
 			o.IOLines[role]++
 			if !line.Consumed() {
 				o.UnconsumedIO[role]++

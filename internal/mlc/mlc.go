@@ -40,11 +40,20 @@ func (m *MLC) Core() int16 { return m.core }
 // Array exposes the underlying array for stats and tests.
 func (m *MLC) Array() *cache.Cache { return m.arr }
 
-// Lookup probes for a line.
-func (m *MLC) Lookup(addr uint64) (*cache.Line, int) { return m.arr.Lookup(addr) }
+// Probe looks up a line, returning a copy and its way, or (Line{}, -1).
+func (m *MLC) Probe(addr uint64) (cache.Line, int) { return m.arr.Probe(addr) }
 
-// Touch promotes a line to MRU.
-func (m *MLC) Touch(l *cache.Line) { m.arr.Touch(l) }
+// ProbeWay returns the way addr occupies, or -1, without materializing the
+// line metadata.
+func (m *MLC) ProbeWay(addr uint64) int { return m.arr.ProbeWay(addr) }
+
+// Touch promotes the line at (addr, way) to MRU.
+func (m *MLC) Touch(addr uint64, way int) { m.arr.Touch(addr, way) }
+
+// MutateFlags sets then clears flag bits on the resident line at (addr, way).
+func (m *MLC) MutateFlags(addr uint64, way int, set, clear cache.LineFlags) {
+	m.arr.MutateFlags(addr, way, set, clear)
+}
 
 // Fill allocates addr and returns the evicted victim (Valid=false if none).
 func (m *MLC) Fill(addr uint64, owner int16, port int8, flags cache.LineFlags) cache.Line {

@@ -25,15 +25,15 @@ func TestFillLookupInvalidate(t *testing.T) {
 	if ev.Valid {
 		t.Fatalf("first fill should not evict")
 	}
-	l, _ := m.Lookup(100)
-	if l == nil || l.Owner != 7 || !l.Dirty() {
+	l, w := m.Probe(100)
+	if !l.Valid || l.Owner != 7 || !l.Dirty() {
 		t.Fatalf("fill metadata wrong: %+v", l)
 	}
-	m.Touch(l)
+	m.Touch(100, w)
 	if old, ok := m.Invalidate(100); !ok || old.Addr != 100 {
 		t.Fatalf("invalidate failed")
 	}
-	if l, _ := m.Lookup(100); l != nil {
+	if l, _ := m.Probe(100); l.Valid {
 		t.Fatalf("line still present")
 	}
 }

@@ -41,7 +41,7 @@ func TestPacketDelivery(t *testing.T) {
 		t.Fatalf("pop failed: %d %f %v", slot, arrival, ok)
 	}
 	// Payload lines were DMA-written through the hierarchy.
-	if l, _ := h.LLC().Lookup(r.SlotAddr(0)); l == nil || !l.IO() {
+	if l, _ := h.LLC().Probe(r.SlotAddr(0)); !l.Valid || !l.IO() {
 		t.Fatalf("payload line not in LLC")
 	}
 	if h.Fabric().C(id).IOReadBytes.Total() == 0 {

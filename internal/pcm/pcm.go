@@ -102,9 +102,14 @@ func (f *Fabric) NumWorkloads() int { return len(f.counters) }
 // attribution bugs fail loudly in tests.
 func (f *Fabric) C(id WorkloadID) *Counters {
 	if int(id) < 0 || int(id) >= len(f.counters) {
-		panic(fmt.Sprintf("pcm: invalid workload id %d", id))
+		badWorkloadID(id)
 	}
 	return f.counters[id]
+}
+
+// badWorkloadID is split out so C stays inlineable on the hot path.
+func badWorkloadID(id WorkloadID) {
+	panic(fmt.Sprintf("pcm: invalid workload id %d", id))
 }
 
 // Name returns the registered name of id.

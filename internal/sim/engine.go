@@ -63,6 +63,7 @@ type Engine struct {
 	observers []Observer
 	rng       *RNG
 	carry     []float64 // fractional op budget carried between epochs, per actor
+	budgets   []int     // per-epoch scratch, reused across RunEpochs calls
 
 	// Stop, when set by an observer or actor callback, ends Run early.
 	stopped bool
@@ -102,7 +103,10 @@ func (e *Engine) Run(seconds float64) {
 
 // RunEpochs advances simulated time by the given number of epochs.
 func (e *Engine) RunEpochs(epochs int) {
-	budgets := make([]int, len(e.actors))
+	if cap(e.budgets) < len(e.actors) {
+		e.budgets = make([]int, len(e.actors))
+	}
+	budgets := e.budgets[:len(e.actors)]
 	for ep := 0; ep < epochs && !e.stopped; ep++ {
 		// Compute per-epoch budgets with fractional carry, so low-rate
 		// actors still make progress over multiple epochs.

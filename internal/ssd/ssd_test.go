@@ -42,7 +42,7 @@ func TestReadCommandCompletes(t *testing.T) {
 	}
 	// The block's lines were DMA-written into the hierarchy.
 	for l := uint64(0); l < 8; l++ {
-		if line, _ := h.LLC().Lookup(4096 + l); line == nil {
+		if line, _ := h.LLC().Probe(4096 + l); !line.Valid {
 			t.Fatalf("line %d not written", l)
 		}
 	}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# bench.sh — run the benchmark suite once and record the results as
+# BENCH_<date>.json (op nanoseconds plus the headline figure metrics each
+# benchmark reports via b.ReportMetric), so successive PRs leave a perf
+# trajectory in the repo history.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME=5x scripts/bench.sh   # more iterations for stabler numbers
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_$(date +%Y%m%d).json}"
+benchtime="${BENCHTIME:-1x}"
+
+raw=$(go test -run '^$' -bench . -benchtime "$benchtime" .)
+echo "$raw"
+
+# Convert `BenchmarkName  N  1234 ns/op  5.6 metric ...` lines to JSON.
+{
+	echo '{'
+	echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+	echo "  \"benchtime\": \"$benchtime\","
+	echo "  \"go\": \"$(go version | awk '{print $3}')\","
+	echo '  "benchmarks": {'
+	echo "$raw" | awk '
+		/^Benchmark/ {
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			printf "%s    \"%s\": {\"iters\": %s", sep, name, $2
+			for (i = 3; i + 1 <= NF; i += 2) {
+				metric = $(i + 1)
+				gsub(/[^A-Za-z0-9_\/@.:-]/, "_", metric)
+				printf ", \"%s\": %s", metric, $i
+			}
+			printf "}"
+			sep = ",\n"
+		}
+		END { print "" }
+	'
+	echo '  }'
+	echo '}'
+} > "$out"
+
+echo "wrote $out"
