@@ -1,107 +1,87 @@
 // Command a4d runs a co-location scenario under a chosen LLC manager and
 // streams per-second metrics, like running the real A4 daemon next to a
-// workload mix.
+// workload mix. Mixes are declarative scenario specs (internal/scenario):
+// either a builtin name or a path to a spec JSON file.
 //
 // Usage:
 //
 //	a4d -mix micro -mgr a4-d -secs 30
 //	a4d -mix hpw-heavy -mgr default -secs 20
-//	a4d -mix lpw-heavy -mgr isolate
+//	a4d -mix my-scenario.json
 //
 // Managers: default, isolate, a4-a, a4-b, a4-c, a4-d.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"a4sim/internal/core"
-	"a4sim/internal/harness"
+	"a4sim/internal/scenario"
 	"a4sim/internal/sim"
 	"a4sim/internal/trace"
-	"a4sim/internal/workload"
 )
 
-func managerByName(name string) (harness.ManagerSpec, bool) {
-	switch name {
-	case "default":
-		return harness.Default(), true
-	case "isolate":
-		return harness.Isolate(), true
-	case "a4-a":
-		return harness.A4(core.VariantA), true
-	case "a4-b":
-		return harness.A4(core.VariantB), true
-	case "a4-c":
-		return harness.A4(core.VariantC), true
-	case "a4-d", "a4":
-		return harness.A4(core.VariantD), true
+// loadMix resolves a builtin mix name, falling back to reading the
+// argument as a spec file path.
+func loadMix(mix string) (*scenario.Spec, error) {
+	sp, builtinErr := scenario.BuiltinMix(mix)
+	if builtinErr == nil {
+		return sp, nil
 	}
-	return harness.ManagerSpec{}, false
-}
-
-func buildMix(s *harness.Scenario, mix string) error {
-	switch mix {
-	case "micro":
-		s.AddDPDK("dpdk-t", []int{0, 1, 2, 3}, true, workload.HPW)
-		s.AddFIO("fio", []int{4, 5, 6, 7}, 128<<10, 32, workload.LPW)
-		s.AddXMem("xmem1", []int{8, 9}, 4<<20, workload.Sequential, false, workload.HPW)
-		s.AddXMem("xmem3", []int{12, 13}, 10<<20, workload.Random, false, workload.LPW)
-	case "hpw-heavy":
-		s.AddFastclick([]int{0, 1, 2, 3}, workload.HPW)
-		s.AddRedisPair(4, 5, workload.HPW, workload.HPW)
-		s.AddSPEC("x264", 6, workload.HPW)
-		s.AddSPEC("parest", 7, workload.HPW)
-		s.AddSPEC("xalancbmk", 8, workload.HPW)
-		s.AddSPEC("lbm", 9, workload.HPW)
-		s.AddFFSB("ffsb-h", true, []int{10, 11, 12}, workload.LPW)
-		s.AddSPEC("omnetpp", 13, workload.LPW)
-		s.AddSPEC("exchange2", 14, workload.LPW)
-		s.AddSPEC("bwaves", 15, workload.LPW)
-	case "lpw-heavy":
-		s.AddFastclick([]int{0, 1, 2, 3}, workload.HPW)
-		s.AddFFSB("ffsb-l", false, []int{4}, workload.HPW)
-		s.AddSPEC("mcf", 5, workload.HPW)
-		s.AddSPEC("blender", 6, workload.HPW)
-		s.AddFFSB("ffsb-h", true, []int{7, 8, 9}, workload.LPW)
-		s.AddRedisPair(10, 11, workload.LPW, workload.LPW)
-		s.AddSPEC("x264", 12, workload.LPW)
-		s.AddSPEC("parest", 13, workload.LPW)
-		s.AddSPEC("fotonik3d", 14, workload.LPW)
-		s.AddSPEC("lbm", 15, workload.LPW)
-		s.AddSPEC("bwaves", 16, workload.LPW)
-	default:
-		return fmt.Errorf("unknown mix %q (micro, hpw-heavy, lpw-heavy)", mix)
+	data, fileErr := os.ReadFile(mix)
+	if fileErr != nil {
+		// A file that exists but cannot be read (permissions, directory)
+		// deserves its own diagnosis; only a plain name with no file behind
+		// it reads as a builtin-mix typo.
+		if strings.ContainsAny(mix, "./") || !errors.Is(fileErr, os.ErrNotExist) {
+			return nil, fileErr
+		}
+		return nil, builtinErr
 	}
-	return nil
+	return scenario.Parse(data)
 }
 
 func main() {
-	mix := flag.String("mix", "micro", "workload mix: micro, hpw-heavy, lpw-heavy")
-	mgr := flag.String("mgr", "a4-d", "LLC manager: default, isolate, a4-a..a4-d")
-	secs := flag.Int("secs", 25, "simulated seconds to run")
+	mix := flag.String("mix", "micro", "builtin mix ("+strings.Join(scenario.BuiltinMixes(), ", ")+") or spec file path")
+	mgr := flag.String("mgr", "", "LLC manager override: "+strings.Join(scenario.ManagerNames(), ", "))
+	secs := flag.Int("secs", 0, "simulated seconds to run (0 = spec windows)")
 	showTrace := flag.Bool("trace", false, "dump the controller trace ring at exit")
 	flag.Parse()
 
-	spec, ok := managerByName(*mgr)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "a4d: unknown manager %q\n", *mgr)
-		os.Exit(2)
-	}
-	s := harness.NewScenario(harness.DefaultParams())
-	if err := buildMix(s, *mix); err != nil {
+	sp, err := loadMix(*mix)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "a4d:", err)
 		os.Exit(2)
 	}
-	s.Start(spec)
+	if *mgr != "" {
+		sp.Manager = *mgr
+	}
+	if *secs > 0 {
+		// Matches the pre-spec behavior: measure the last 3 seconds, warm up
+		// for the rest. Zero would mean "default window" to Normalize, so a
+		// no-warmup run asks for a millisecond instead.
+		sp.WarmupSec = float64(*secs) - 3
+		if sp.WarmupSec <= 0 {
+			sp.WarmupSec = 0.001
+		}
+		sp.MeasureSec = 3
+	}
+	// Start normalizes (and validates) the spec before building.
+	s, err := sp.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "a4d:", err)
+		os.Exit(2)
+	}
 	tlog := trace.NewLog(4096)
 	if s.Controller != nil {
 		s.Controller.SetTraceLog(tlog)
 	}
 
 	fmt.Printf("a4d: mix=%s manager=%s cores=%d llc=%d ways x %d sets\n",
-		*mix, spec.Name(), s.P.Hierarchy.NumCores, s.P.Hierarchy.LLC.Ways, s.P.Hierarchy.LLC.Sets)
+		sp.Name, sp.Manager, s.P.Hierarchy.NumCores, s.P.Hierarchy.LLC.Ways, s.P.Hierarchy.LLC.Sets)
 
 	// Stream one status line per simulated second.
 	lastEvents := 0
@@ -118,7 +98,7 @@ func main() {
 			lastEvents = len(s.Controller.Events)
 		}
 	}))
-	res := s.Run(float64(*secs)-3, 3)
+	res := s.Run(sp.WarmupSec, sp.MeasureSec)
 
 	fmt.Println("\nfinal window:")
 	for _, w := range s.Workloads {

@@ -1,0 +1,311 @@
+// Command a4serve serves scenario runs over HTTP: the simulation as a
+// service. Clients POST declarative scenario specs (internal/scenario) and
+// get deterministic reports back; identical specs are served from a
+// content-addressed result cache, and concurrent duplicates coalesce onto
+// one execution, so a fleet of clients asking popular questions is mostly
+// served without simulating anything.
+//
+// Endpoints:
+//
+//	POST /run          spec JSON -> {hash, cached, report}
+//	POST /sweep        {spec, axes: [{param, values|managers}]} -> {points}
+//	GET  /result/<hash>  cached report by content address (404 if evicted)
+//	GET  /healthz      liveness
+//	GET  /stats        cache hit/miss, dedup, execution counters
+//
+// Usage:
+//
+//	a4serve -addr :8044 -workers 8 -cache 512
+//	a4serve -loadgen -url http://localhost:8044 -n 200 -clients 8 -fresh 0.25
+//
+// The -loadgen mode hammers a running daemon with a mix of repeated and
+// fresh specs and prints the served throughput (service_cached_rps), which
+// scripts/bench.sh records into the perf trajectory.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"a4sim/internal/scenario"
+	"a4sim/internal/service"
+)
+
+// loadgenClient bounds every loadgen request so a wedged daemon cannot
+// hang the generator (and scripts/bench.sh behind it) forever.
+var loadgenClient = &http.Client{Timeout: 60 * time.Second}
+
+func main() {
+	addr := flag.String("addr", ":8044", "listen address")
+	workers := flag.Int("workers", 0, "execution pool size (0 = GOMAXPROCS)")
+	cacheEntries := flag.Int("cache", 256, "result cache capacity in entries")
+	loadgen := flag.Bool("loadgen", false, "run as load generator against -url instead of serving")
+	url := flag.String("url", "http://localhost:8044", "loadgen: target daemon")
+	n := flag.Int("n", 200, "loadgen: total requests")
+	clients := flag.Int("clients", 8, "loadgen: concurrent clients")
+	fresh := flag.Float64("fresh", 0.25, "loadgen: fraction of requests with never-seen specs")
+	flag.Parse()
+
+	if *loadgen {
+		os.Exit(runLoadgen(*url, *n, *clients, *fresh))
+	}
+
+	svc := service.New(service.Config{Workers: *workers, CacheEntries: *cacheEntries})
+	fmt.Printf("a4serve: listening on %s (workers=%d cache=%d mixes=%v)\n",
+		*addr, svc.Stats().Workers, *cacheEntries, scenario.BuiltinMixes())
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: newMux(svc),
+		// Bound idle and slow-loris connections. No WriteTimeout: /run and
+		// /sweep responses legitimately wait on multi-minute executions.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "a4serve:", err)
+		os.Exit(1)
+	}
+}
+
+func newMux(svc *service.Service) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /run", func(w http.ResponseWriter, r *http.Request) {
+		body, err := readBody(w, r)
+		if err != nil {
+			httpError(w, bodyErrStatus(err), err.Error())
+			return
+		}
+		sp, err := scenario.Parse(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		// No explicit Validate here: Submit's hashing validates the spec
+		// and statusForErr maps the rejection to 422.
+		res, err := svc.Submit(sp)
+		if err != nil {
+			httpError(w, statusForErr(err), err.Error())
+			return
+		}
+		writeJSON(w, map[string]any{
+			"hash":   res.Hash,
+			"cached": res.Cached,
+			"report": json.RawMessage(res.Report),
+		})
+	})
+	mux.HandleFunc("POST /sweep", func(w http.ResponseWriter, r *http.Request) {
+		body, err := readBody(w, r)
+		if err != nil {
+			httpError(w, bodyErrStatus(err), err.Error())
+			return
+		}
+		var req service.SweepRequest
+		if err := scenario.StrictDecode(body, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		points, err := svc.Sweep(&req)
+		if err != nil {
+			httpError(w, statusForErr(err), err.Error())
+			return
+		}
+		out := make([]map[string]any, len(points))
+		for i, p := range points {
+			out[i] = map[string]any{
+				"grid":   p.Grid,
+				"hash":   p.Hash,
+				"cached": p.Cached,
+				"report": json.RawMessage(p.Report),
+			}
+		}
+		writeJSON(w, map[string]any{"points": out})
+	})
+	mux.HandleFunc("GET /result/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		hash := r.PathValue("hash")
+		rep, ok := svc.Lookup(hash)
+		if !ok {
+			httpError(w, http.StatusNotFound, "no cached result for "+hash)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(rep)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, svc.Stats())
+	})
+	return mux
+}
+
+// readBody reads a request body under the 1 MiB cap; MaxBytesReader
+// rejects oversized bodies outright rather than silently truncating into
+// different (but parseable) JSON.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+}
+
+// bodyErrStatus distinguishes an oversized body (413) from a transport or
+// encoding failure mid-read (400).
+func bodyErrStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// statusForErr classifies a service failure: execution errors are the
+// server's fault (500), a closing service is transient (503), a full
+// queue asks the client to back off (429), anything else is a spec or
+// grid rejected before running (422).
+func statusForErr(err error) int {
+	var re *service.RunError
+	switch {
+	case errors.As(err, &re):
+		return http.StatusInternalServerError
+	case errors.Is(err, service.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, service.ErrBusy):
+		return http.StatusTooManyRequests
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// runLoadgen drives a daemon with a mix of repeated and fresh specs. The
+// repeated ones model a fleet asking popular questions (cache-served); the
+// fresh ones vary the seed so they must execute. Prints overall and
+// cache-served throughput in a bench.sh-parseable form.
+func runLoadgen(url string, n, clients int, freshFrac float64) int {
+	base, err := scenario.BuiltinMix("tiny")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		return 1
+	}
+	// The popular set: a few manager variants of the tiny mix.
+	popular := [][]byte{}
+	for _, mgr := range []string{"a4-d", "default", "isolate"} {
+		sp := base.Clone()
+		sp.Manager = mgr
+		data, _ := json.Marshal(sp)
+		popular = append(popular, data)
+	}
+	if freshFrac < 0 {
+		freshFrac = 0
+	}
+	if freshFrac > 1 {
+		freshFrac = 1
+	}
+	// isFresh schedules ~freshFrac of requests as never-seen specs with an
+	// error-accumulator spread (exact for any fraction, deterministic in i).
+	isFresh := func(i int) bool {
+		return int(float64(i+1)*freshFrac) > int(float64(i)*freshFrac)
+	}
+
+	statsBefore, err := fetchStats(url)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen: daemon not reachable:", err)
+		return 1
+	}
+
+	// Salt fresh specs with a per-run nonce so repeated loadgen runs against
+	// a long-lived daemon really execute their fresh share instead of
+	// re-hitting the previous run's entries.
+	nonce := uint64(time.Now().UnixNano())
+
+	var (
+		next     atomic.Int64
+		okCount  atomic.Int64
+		failures atomic.Int64
+		wg       sync.WaitGroup
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body := popular[i%len(popular)]
+				if isFresh(i) {
+					sp := base.Clone()
+					sp.Name = fmt.Sprintf("fresh-%d-%d", nonce, i)
+					sp.Params.Seed = nonce + uint64(i)
+					body, _ = json.Marshal(sp)
+				}
+				resp, err := loadgenClient.Post(url+"/run", "application/json", bytes.NewReader(body))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					okCount.Add(1)
+				} else {
+					failures.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	statsAfter, err := fetchStats(url)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen: stats after run:", err)
+		return 1
+	}
+	hits := statsAfter.Hits - statsBefore.Hits
+	execs := statsAfter.Executions - statsBefore.Executions
+	fmt.Printf("loadgen: %d ok, %d failed in %.2fs (%d clients)\n",
+		okCount.Load(), failures.Load(), elapsed.Seconds(), clients)
+	fmt.Printf("loadgen: cache hits=%d dedups=%d executions=%d\n",
+		hits, statsAfter.Dedups-statsBefore.Dedups, execs)
+	fmt.Printf("service_total_rps=%.2f\n", float64(okCount.Load())/elapsed.Seconds())
+	// The headline metric counts only cache-served requests, so it tracks
+	// the serving path rather than simulation speed.
+	fmt.Printf("service_cached_rps=%.2f\n", float64(hits)/elapsed.Seconds())
+	if failures.Load() > 0 {
+		return 1
+	}
+	return 0
+}
+
+func fetchStats(url string) (service.Stats, error) {
+	var st service.Stats
+	resp, err := loadgenClient.Get(url + "/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}

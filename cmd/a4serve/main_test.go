@@ -1,0 +1,188 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"a4sim/internal/scenario"
+	"a4sim/internal/service"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	svc := service.New(service.Config{Workers: 2, CacheEntries: 16})
+	t.Cleanup(svc.Close)
+	srv := httptest.NewServer(newMux(svc))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func tinyBody(t *testing.T) []byte {
+	t.Helper()
+	sp, err := scenario.BuiltinMix("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Params.RateScale = 8192
+	data, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+type runResponse struct {
+	Hash   string          `json:"hash"`
+	Cached bool            `json:"cached"`
+	Report json.RawMessage `json:"report"`
+}
+
+func TestRunEndpointCachesSecondPost(t *testing.T) {
+	srv := testServer(t)
+	body := tinyBody(t)
+
+	post := func() runResponse {
+		resp, err := http.Post(srv.URL+"/run", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /run status %d", resp.StatusCode)
+		}
+		var rr runResponse
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			t.Fatal(err)
+		}
+		return rr
+	}
+	r1 := post()
+	r2 := post()
+	if r1.Cached || !r2.Cached {
+		t.Errorf("cached flags = %v, %v; want false, true", r1.Cached, r2.Cached)
+	}
+	if !bytes.Equal(r1.Report, r2.Report) {
+		t.Error("cache-served report differs from executed report")
+	}
+
+	// The hit shows up in /stats and the report is addressable by hash.
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st service.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Hits < 1 || st.Executions != 1 {
+		t.Errorf("stats = %+v, want >=1 hit and exactly 1 execution", st)
+	}
+
+	resp, err = http.Get(srv.URL + "/result/" + r1.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /result status %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := scenario.DecodeReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Hash != r1.Hash {
+		t.Errorf("served report hash %s, want %s", rep.Hash, r1.Hash)
+	}
+}
+
+func TestRunEndpointRejectsBadSpecs(t *testing.T) {
+	srv := testServer(t)
+
+	resp, err := http.Post(srv.URL+"/run", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Post(srv.URL+"/run", "application/json",
+		strings.NewReader(`{"manager": "bogus", "workloads": [{"kind": "xmem", "cores": [0]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("invalid spec: status %d, want 422", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /run: status %d, want 405", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/result/unknownhash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /result/unknown: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	srv := testServer(t)
+	sp, err := scenario.BuiltinMix("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Params.RateScale = 8192
+	req := map[string]any{
+		"spec": sp,
+		"axes": []map[string]any{{"param": "manager", "managers": []string{"default", "a4-d"}}},
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(srv.URL+"/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /sweep status %d", resp.StatusCode)
+	}
+	var out struct {
+		Points []struct {
+			Grid   map[string]any  `json:"grid"`
+			Hash   string          `json:"hash"`
+			Report json.RawMessage `json:"report"`
+		} `json:"points"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(out.Points))
+	}
+	if out.Points[0].Grid["manager"] != "default" || out.Points[1].Grid["manager"] != "a4-d" {
+		t.Errorf("grid order not deterministic: %v", out.Points)
+	}
+	if out.Points[0].Hash == out.Points[1].Hash {
+		t.Error("distinct grid points share a hash")
+	}
+}

@@ -11,10 +11,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
-	"a4sim/internal/harness"
+	"a4sim/internal/scenario"
 	"a4sim/internal/sim"
-	"a4sim/internal/workload"
 )
 
 func main() {
@@ -23,11 +23,20 @@ func main() {
 	block := flag.Int("block", 128, "FIO block size in KB")
 	flag.Parse()
 
-	s := harness.NewScenario(harness.DefaultParams())
-	s.AddDPDK("dpdk-t", []int{0, 1, 2, 3}, true, workload.HPW)
-	s.AddFIO("fio", []int{4, 5, 6, 7}, *block<<10, 32, workload.LPW)
-	s.AddXMem("xmem", []int{8, 9}, 4<<20, workload.Sequential, false, workload.HPW)
-	s.Start(harness.Default())
+	sp := &scenario.Spec{
+		Name:    "a4top",
+		Manager: "default",
+		Workloads: []scenario.WorkloadSpec{
+			{Kind: "dpdk", Name: "dpdk-t", Cores: []int{0, 1, 2, 3}, Priority: "hpw", Touch: true},
+			{Kind: "fio", Name: "fio", Cores: []int{4, 5, 6, 7}, Priority: "lpw", BlockKB: *block, QueueDepth: 32},
+			{Kind: "xmem", Name: "xmem", Cores: []int{8, 9}, Priority: "hpw", WSKB: 4 << 10, Pattern: "sequential"},
+		},
+	}
+	s, err := sp.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "a4top:", err)
+		os.Exit(2)
+	}
 
 	interval := *every
 	if interval <= 0 {

@@ -15,7 +15,17 @@
 // permutation and valid-bitmask words; see PERF.md for the profile-driven
 // design), and the figure layer executes independent sweep points on a
 // worker pool sized by figures.Options.Workers — deterministically, since
-// every point owns its engine and seeded RNGs. Build with the included
-// go.mod (module a4sim); scripts/bench.sh records benchmark snapshots as
+// every point owns its engine and seeded RNGs.
+//
+// Experiments are declarative: internal/scenario describes a scenario as a
+// JSON spec with a workload-constructor registry, canonical encoding, and a
+// stable content hash, and every binary and example builds its scenarios
+// through specs (builtin mixes ship embedded in the package). On top of
+// that, internal/service and cmd/a4serve serve scenario runs over HTTP with
+// a worker pool, singleflight deduplication, and an LRU result cache keyed
+// by spec hash — determinism makes cache hits byte-identical to fresh runs.
+//
+// Build with the included go.mod (module a4sim); scripts/bench.sh records
+// benchmark snapshots (including a4serve's cache-served throughput) as
 // BENCH_<date>.json.
 package a4sim

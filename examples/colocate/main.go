@@ -1,6 +1,8 @@
 // Colocate: run the paper's HPW-heavy real-world mix (Table 2 / Fig. 13a)
 // under every LLC management scheme and print the per-workload relative
 // performance table, including which workloads A4 classifies as antagonists.
+// The mix is the builtin "hpw-heavy" scenario spec; only the manager field
+// changes between runs.
 //
 // Run with:
 //
@@ -10,8 +12,8 @@ package main
 import (
 	"fmt"
 
-	"a4sim/internal/core"
 	"a4sim/internal/harness"
+	"a4sim/internal/scenario"
 	"a4sim/internal/workload"
 )
 
@@ -20,20 +22,17 @@ var names = []string{
 	"ffsb-h", "omnetpp", "exchange2", "bwaves",
 }
 
-func build(mgr harness.ManagerSpec) (*harness.Scenario, *harness.Result) {
-	s := harness.NewScenario(harness.DefaultParams())
-	s.AddFastclick([]int{0, 1, 2, 3}, workload.HPW)
-	s.AddRedisPair(4, 5, workload.HPW, workload.HPW)
-	s.AddSPEC("x264", 6, workload.HPW)
-	s.AddSPEC("parest", 7, workload.HPW)
-	s.AddSPEC("xalancbmk", 8, workload.HPW)
-	s.AddSPEC("lbm", 9, workload.HPW)
-	s.AddFFSB("ffsb-h", true, []int{10, 11, 12}, workload.LPW)
-	s.AddSPEC("omnetpp", 13, workload.LPW)
-	s.AddSPEC("exchange2", 14, workload.LPW)
-	s.AddSPEC("bwaves", 15, workload.LPW)
-	s.Start(mgr)
-	res := s.Run(14, 4)
+func build(manager string) (*harness.Scenario, *harness.Result) {
+	sp, err := scenario.BuiltinMix("hpw-heavy")
+	if err != nil {
+		panic(err)
+	}
+	sp.Manager = manager
+	s, err := sp.Start()
+	if err != nil {
+		panic(err)
+	}
+	res := s.Run(sp.WarmupSec, sp.MeasureSec)
 	return s, res
 }
 
@@ -47,15 +46,11 @@ func perf(r *harness.Result, name string) float64 {
 }
 
 func main() {
-	schemes := []harness.ManagerSpec{
-		harness.Default(),
-		harness.Isolate(),
-		harness.A4(core.VariantD),
-	}
+	schemes := []string{"default", "isolate", "a4-d"}
 	base := map[string]float64{}
 	fmt.Printf("%-11s", "workload")
 	for _, m := range schemes {
-		fmt.Printf(" %9s", m.Name())
+		fmt.Printf(" %9s", m)
 	}
 	fmt.Println(" (relative to default)")
 

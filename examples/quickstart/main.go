@@ -1,5 +1,8 @@
-// Quickstart: build a tiny co-location scenario, run it under the Default
-// model and under the full A4 controller, and print the difference.
+// Quickstart: declare a tiny co-location scenario as a JSON spec, run it
+// under the Default model and under the full A4 controller, and print the
+// difference. The same JSON can be POSTed verbatim to a running a4serve
+// daemon (`go run ./cmd/a4serve`), which will cache the report by the
+// spec's content hash.
 //
 // Run with:
 //
@@ -9,33 +12,42 @@ package main
 import (
 	"fmt"
 
-	"a4sim/internal/core"
-	"a4sim/internal/harness"
-	"a4sim/internal/workload"
+	"a4sim/internal/scenario"
 )
 
-func runOnce(mgr harness.ManagerSpec) *harness.Result {
-	// A scenario is a simulated Skylake-SP server: 18 cores, a non-inclusive
-	// 11-way LLC with 2 DCA ways and 2 inclusive ways, a 100 Gbps NIC and a
-	// 13 GB/s NVMe RAID-0 array.
-	s := harness.NewScenario(harness.DefaultParams())
+// The scenario: a simulated Skylake-SP server (18 cores, a non-inclusive
+// 11-way LLC with 2 DCA ways and 2 inclusive ways, a 100 Gbps NIC and a
+// 13 GB/s NVMe RAID-0 array) co-locating a latency-sensitive packet
+// processor, a storage-heavy batch job whose 128 KB random reads flood the
+// DCA ways, and a cache-sensitive compute job.
+const specJSON = `{
+  "name": "quickstart",
+  "manager": "default",
+  "warmup_sec": 14,
+  "measure_sec": 4,
+  "workloads": [
+    {"kind": "dpdk", "name": "dpdk-t", "cores": [0, 1, 2, 3], "priority": "hpw", "touch": true},
+    {"kind": "fio",  "name": "fio",    "cores": [4, 5, 6, 7], "priority": "lpw", "block_kb": 128, "queue_depth": 32},
+    {"kind": "xmem", "name": "xmem",   "cores": [8, 9],       "priority": "hpw", "ws_kb": 4096, "pattern": "sequential"}
+  ]
+}`
 
-	// A latency-sensitive packet processor (high priority)...
-	s.AddDPDK("dpdk-t", []int{0, 1, 2, 3}, true, workload.HPW)
-	// ...a storage-heavy batch job (low priority) whose 128 KB random reads
-	// flood the DCA ways...
-	s.AddFIO("fio", []int{4, 5, 6, 7}, 128<<10, 32, workload.LPW)
-	// ...and a cache-sensitive compute job (high priority).
-	s.AddXMem("xmem", []int{8, 9}, 4<<20, workload.Sequential, false, workload.HPW)
-
-	// Attach the LLC manager and run: warm up, then measure.
-	s.Start(mgr)
-	return s.Run(14, 4)
+func runOnce(manager string) *scenario.Report {
+	sp, err := scenario.Parse([]byte(specJSON))
+	if err != nil {
+		panic(err)
+	}
+	sp.Manager = manager
+	rep, err := sp.Run()
+	if err != nil {
+		panic(err)
+	}
+	return rep
 }
 
 func main() {
-	def := runOnce(harness.Default())
-	a4 := runOnce(harness.A4(core.VariantD))
+	def := runOnce("default")
+	a4 := runOnce("a4-d")
 
 	fmt.Println("metric                     default        a4-d")
 	fmt.Printf("dpdk-t avg latency   %9.1f us %9.1f us\n",

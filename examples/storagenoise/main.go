@@ -3,7 +3,8 @@
 // scan; as the storage block size grows, DMA leak floods the DCA ways and
 // network latency climbs. Selectively disabling DCA for the SSD port — the
 // hidden perfctrlsts_0 knob — restores network latency without costing the
-// storage workload anything.
+// storage workload anything. The scenario comes from a declarative spec;
+// the per-port DCA and CAT programming stay manual.
 //
 // Run with:
 //
@@ -15,24 +16,37 @@ import (
 
 	"a4sim/internal/cache"
 	"a4sim/internal/harness"
-	"a4sim/internal/workload"
+	"a4sim/internal/scenario"
+)
+
+var (
+	dpdkCores = []int{0, 1, 2, 3}
+	fioCores  = []int{4, 5, 6, 7}
 )
 
 func run(blockKB int, ssdDCA bool) (netUs, storageGBps float64) {
-	s := harness.NewScenario(harness.DefaultParams())
-	d := s.AddDPDK("dpdk-t", []int{0, 1, 2, 3}, true, workload.HPW)
-	f := s.AddFIO("fio", []int{4, 5, 6, 7}, blockKB<<10, 32, workload.LPW)
-	s.Start(harness.Default())
+	sp := &scenario.Spec{
+		Name:    "storagenoise",
+		Manager: "default",
+		Workloads: []scenario.WorkloadSpec{
+			{Kind: "dpdk", Name: "dpdk-t", Cores: dpdkCores, Priority: "hpw", Touch: true},
+			{Kind: "fio", Name: "fio", Cores: fioCores, Priority: "lpw", BlockKB: blockKB, QueueDepth: 32},
+		},
+	}
+	s, err := sp.Start()
+	if err != nil {
+		panic(err)
+	}
 
 	// The hidden knob: per-port DCA disable (perfctrlsts_0).
 	s.H.PCIe().SetPortDCA(harness.SSDPort, ssdDCA)
 
 	must(s.H.CAT().SetMask(1, cache.MaskRange(2, 3)))
-	for _, c := range f.Cores() {
+	for _, c := range fioCores {
 		must(s.H.CAT().Associate(c, 1))
 	}
 	must(s.H.CAT().SetMask(2, cache.MaskRange(4, 5)))
-	for _, c := range d.Cores() {
+	for _, c := range dpdkCores {
 		must(s.H.CAT().Associate(c, 2))
 	}
 

@@ -2,7 +2,9 @@
 // It slides a cache-sensitive workload's two CAT ways across the LLC while
 // a DPDK-style packet processor holds way[5:6], revealing the three
 // contention regions: DCA ways (latent contention), the DPDK ways (DMA
-// bloat), and the inclusive ways (hidden directory contention).
+// bloat), and the inclusive ways (hidden directory contention). The
+// scenario comes from a declarative spec; the CAT programming stays manual,
+// exactly like intel-cmt-cat on the real box.
 //
 // Run with:
 //
@@ -13,23 +15,35 @@ import (
 	"fmt"
 
 	"a4sim/internal/cache"
-	"a4sim/internal/harness"
-	"a4sim/internal/workload"
+	"a4sim/internal/scenario"
+)
+
+var (
+	dpdkCores = []int{0, 1, 2, 3}
+	xmemCores = []int{4, 5}
 )
 
 func sweepPoint(lo int, touch bool) float64 {
-	s := harness.NewScenario(harness.DefaultParams())
-	d := s.AddDPDK("dpdk", []int{0, 1, 2, 3}, touch, workload.HPW)
-	x := s.AddXMem("xmem", []int{4, 5}, 4<<20, workload.Sequential, false, workload.HPW)
-	s.Start(harness.Default())
+	sp := &scenario.Spec{
+		Name:    "waysweep",
+		Manager: "default",
+		Workloads: []scenario.WorkloadSpec{
+			{Kind: "dpdk", Name: "dpdk", Cores: dpdkCores, Priority: "hpw", Touch: touch},
+			{Kind: "xmem", Name: "xmem", Cores: xmemCores, Priority: "hpw", WSKB: 4 << 10, Pattern: "sequential"},
+		},
+	}
+	s, err := sp.Start()
+	if err != nil {
+		panic(err)
+	}
 
 	// Manual CAT programming, exactly like intel-cmt-cat on the real box.
 	must(s.H.CAT().SetMask(1, cache.MaskRange(5, 6)))
-	for _, c := range d.Cores() {
+	for _, c := range dpdkCores {
 		must(s.H.CAT().Associate(c, 1))
 	}
 	must(s.H.CAT().SetMask(2, cache.MaskRange(lo, lo+1)))
-	for _, c := range x.Cores() {
+	for _, c := range xmemCores {
 		must(s.H.CAT().Associate(c, 2))
 	}
 

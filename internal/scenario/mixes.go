@@ -1,0 +1,42 @@
+package scenario
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+//go:embed mixes/*.json
+var mixFS embed.FS
+
+// BuiltinMixes lists the embedded mix names, sorted. These are the paper's
+// Table 2 co-location mixes (hpw-heavy, lpw-heavy), the §3 microbenchmark
+// mix (micro), and a fast smoke mix (tiny).
+func BuiltinMixes() []string {
+	entries, err := mixFS.ReadDir("mixes")
+	if err != nil {
+		panic(fmt.Sprintf("scenario: embedded mixes missing: %v", err))
+	}
+	out := make([]string, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, strings.TrimSuffix(e.Name(), ".json"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BuiltinMix loads an embedded mix spec by name. The returned spec is a
+// fresh copy the caller may mutate (override manager, windows, params)
+// before running.
+func BuiltinMix(name string) (*Spec, error) {
+	data, err := mixFS.ReadFile("mixes/" + name + ".json")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: unknown builtin mix %q (have %v)", name, BuiltinMixes())
+	}
+	sp, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: builtin mix %q: %w", name, err)
+	}
+	return sp, nil
+}

@@ -1,0 +1,388 @@
+// Package scenario turns experiments into data. A Spec is a declarative,
+// JSON-serializable description of one co-location scenario — global
+// parameters, LLC manager, workload list, and run windows — that replaces
+// the hand-built harness wiring previously repeated across cmd/ and
+// examples/. Specs validate against a workload-constructor registry,
+// normalize to a canonical encoding, and hash to a stable content address;
+// because the simulation is deterministic, the hash fully identifies the
+// report, which is what makes the result cache in internal/service sound.
+package scenario
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"a4sim/internal/harness"
+)
+
+// Spec declares one scenario. The zero value of every optional field means
+// "use the default"; Normalize makes the defaults explicit so that two
+// specs differing only in spelled-out defaults share one canonical form.
+type Spec struct {
+	// Name labels the scenario in reports; it does not affect execution
+	// identity but is part of the canonical form.
+	Name string `json:"name,omitempty"`
+	// Manager is the LLC management scheme: default, isolate, a4-a, a4-b,
+	// a4-c, a4-d (alias a4).
+	Manager string `json:"manager"`
+	// Params overrides global knobs; zero fields take harness defaults.
+	Params ParamSpec `json:"params"`
+	// Workloads lists the co-located jobs in placement order.
+	Workloads []WorkloadSpec `json:"workloads"`
+	// WarmupSec and MeasureSec are the run windows in simulated seconds.
+	WarmupSec  float64 `json:"warmup_sec"`
+	MeasureSec float64 `json:"measure_sec"`
+}
+
+// ParamSpec is the JSON view of the harness.Params knobs a spec may set.
+// Fields left zero take the harness defaults (Table 1 testbed).
+type ParamSpec struct {
+	RateScale   float64 `json:"rate_scale,omitempty"`
+	Seed        uint64  `json:"seed,omitempty"`
+	NICGbps     float64 `json:"nic_gbps,omitempty"`
+	PacketBytes int     `json:"packet_bytes,omitempty"`
+	RingEntries int     `json:"ring_entries,omitempty"`
+	SSDGBps     float64 `json:"ssd_gbps,omitempty"`
+}
+
+// WorkloadSpec declares one workload. Kind selects the constructor from the
+// registry; the remaining fields are kind-specific knobs (see the registry
+// table in registry.go for which apply).
+type WorkloadSpec struct {
+	Kind     string `json:"kind"`
+	Name     string `json:"name,omitempty"`
+	Cores    []int  `json:"cores,omitempty"`
+	Priority string `json:"priority,omitempty"` // hpw | lpw (default lpw)
+
+	// dpdk: process packet payloads (DPDK-T vs DPDK-NT).
+	Touch bool `json:"touch,omitempty"`
+	// fio: block size and queue depth.
+	BlockKB    int `json:"block_kb,omitempty"`
+	QueueDepth int `json:"queue_depth,omitempty"`
+	// ffsb: heavy (FFSB-H) vs light (FFSB-L) profile.
+	Heavy bool `json:"heavy,omitempty"`
+	// xmem / synthetic: working set and access shape.
+	WSKB    int64   `json:"ws_kb,omitempty"`
+	Pattern string  `json:"pattern,omitempty"` // sequential | random | zipf
+	Write   bool    `json:"write,omitempty"`
+	Skew    float64 `json:"skew,omitempty"`
+	// synthetic: compute intensity.
+	WriteFrac  float64 `json:"write_frac,omitempty"`
+	InstrPerOp int     `json:"instr_per_op,omitempty"`
+	CPIBase    float64 `json:"cpi_base,omitempty"`
+	Overlap    int     `json:"overlap,omitempty"`
+	// spec: SPEC CPU2017 benchmark name.
+	Bench string `json:"bench,omitempty"`
+	// redis: QoS class of the client half (defaults to Priority).
+	ClientPriority string `json:"client_priority,omitempty"`
+}
+
+// Default run windows for specs that leave them zero.
+const (
+	DefaultWarmupSec  = 2
+	DefaultMeasureSec = 3
+)
+
+// Execution-cost bounds, enforced by CheckBudget. Wall-clock cost scales
+// with simulated seconds and inversely with the rate scale, so the budget
+// caps their product: a spec may simulate up to MaxWorkUnits seconds at
+// the default scale (256), proportionally less at smaller scales. Far
+// beyond any legitimate served experiment, but one hostile spec cannot
+// occupy a service worker near-indefinitely.
+const (
+	MaxWindowSec = 3600
+	MinRateScale = 1
+	MaxWorkUnits = 3600
+)
+
+// CheckBudget rejects specs whose execution cost exceeds the serving
+// bounds. It is a serving policy, distinct from Validate: the service
+// applies it to untrusted submissions, while local CLI runs (a4d, the
+// examples) may simulate as long as they like.
+func (sp *Spec) CheckBudget() error {
+	if sp.WarmupSec > MaxWindowSec || sp.MeasureSec > MaxWindowSec {
+		return fmt.Errorf("scenario: run window exceeds %d simulated seconds (warmup %g, measure %g)",
+			MaxWindowSec, sp.WarmupSec, sp.MeasureSec)
+	}
+	if sp.Params.RateScale > 0 && sp.Params.RateScale < MinRateScale {
+		return fmt.Errorf("scenario: rate_scale %g below %d (smaller scales multiply simulation cost)",
+			sp.Params.RateScale, MinRateScale)
+	}
+	if w := sp.workUnits(); w > MaxWorkUnits {
+		return fmt.Errorf("scenario: windows × rate-scale budget %.0f exceeds %d work units (shrink the windows or raise rate_scale)",
+			w, MaxWorkUnits)
+	}
+	return nil
+}
+
+// workUnits is the spec's execution budget usage: simulated seconds
+// normalized to the default rate scale.
+func (sp *Spec) workUnits() float64 {
+	warm, meas := sp.WarmupSec, sp.MeasureSec
+	if warm == 0 {
+		warm = DefaultWarmupSec
+	}
+	if meas == 0 {
+		meas = DefaultMeasureSec
+	}
+	scale := sp.Params.RateScale
+	if scale <= 0 {
+		scale = harness.DefaultParams().RateScale
+	}
+	return (warm + meas) * harness.DefaultParams().RateScale / scale
+}
+
+// StrictDecode unmarshals one JSON value strictly: unknown fields and
+// trailing data are errors, so typos fail loudly instead of silently
+// taking defaults. Shared by Parse and the a4serve request handlers.
+func StrictDecode(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return fmt.Errorf("trailing data after JSON value")
+	}
+	return nil
+}
+
+// Parse decodes a spec from JSON via StrictDecode.
+func Parse(data []byte) (*Spec, error) {
+	var sp Spec
+	if err := StrictDecode(data, &sp); err != nil {
+		return nil, fmt.Errorf("scenario: decode spec: %w", err)
+	}
+	return &sp, nil
+}
+
+// Normalize makes every defaulted field explicit in place: manager aliases
+// and priority case are folded, per-kind knob defaults are filled in, and
+// fixed-name kinds get their effective names. It returns an error for specs
+// that fail Validate, so a normalized spec is always buildable.
+func (sp *Spec) Normalize() error {
+	if err := sp.Validate(); err != nil {
+		return err
+	}
+	mgr, _ := ManagerByName(sp.Manager)
+	sp.Manager = mgr.Name() // fold aliases: "a4" -> "a4-d"
+	if sp.WarmupSec == 0 {
+		sp.WarmupSec = DefaultWarmupSec
+	}
+	if sp.MeasureSec == 0 {
+		sp.MeasureSec = DefaultMeasureSec
+	}
+	for i := range sp.Workloads {
+		w := &sp.Workloads[i]
+		w.Priority = strings.ToLower(w.Priority)
+		w.ClientPriority = strings.ToLower(w.ClientPriority)
+		k := kinds[w.Kind]
+		k.normalize(w)
+		if w.Priority == "" {
+			w.Priority = "lpw"
+		}
+	}
+	return nil
+}
+
+// Canonical returns the canonical encoding: the normalized spec marshalled
+// with the fixed field order of the Go struct. Two specs that describe the
+// same scenario — regardless of JSON field order or spelled-out defaults —
+// produce identical bytes.
+func (sp *Spec) Canonical() ([]byte, error) {
+	c := sp.Clone()
+	if err := c.Normalize(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(c)
+}
+
+// Hash returns the spec's content address: the hex sha256 of the canonical
+// encoding. Identical hashes mean identical scenarios, and — because the
+// simulation is deterministic — byte-identical reports.
+func (sp *Spec) Hash() (string, error) {
+	c, err := sp.Canonical()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(c)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Clone deep-copies the spec, so callers can derive grid points or
+// normalize for hashing without mutating the original.
+func (sp *Spec) Clone() *Spec {
+	c := *sp
+	c.Workloads = make([]WorkloadSpec, len(sp.Workloads))
+	for i, w := range sp.Workloads {
+		c.Workloads[i] = w
+		c.Workloads[i].Cores = append([]int(nil), w.Cores...)
+	}
+	return &c
+}
+
+// Validate checks the spec against the registry and the testbed geometry.
+// Errors name the offending workload and knob.
+func (sp *Spec) Validate() error {
+	if _, ok := ManagerByName(sp.Manager); !ok {
+		return fmt.Errorf("scenario: unknown manager %q (have %v)", sp.Manager, ManagerNames())
+	}
+	if len(sp.Workloads) == 0 {
+		return fmt.Errorf("scenario: spec %q has no workloads", sp.Name)
+	}
+	if sp.WarmupSec < 0 || sp.MeasureSec < 0 {
+		return fmt.Errorf("scenario: negative run window (warmup %g, measure %g)", sp.WarmupSec, sp.MeasureSec)
+	}
+	// Params use zero-means-default; a negative value would also run the
+	// default but still be baked into the content hash, so the cache would
+	// hold a report whose address claims a parameterization that never ran.
+	if sp.Params.RateScale < 0 || sp.Params.NICGbps < 0 || sp.Params.SSDGBps < 0 ||
+		sp.Params.PacketBytes < 0 || sp.Params.RingEntries < 0 {
+		return fmt.Errorf("scenario: negative param (params are zero-means-default; omit instead): %+v", sp.Params)
+	}
+	numCores := harness.DefaultParams().Hierarchy.NumCores
+	owner := map[int]string{}
+	names := map[string]string{}
+	for i := range sp.Workloads {
+		w := &sp.Workloads[i]
+		k, ok := kinds[w.Kind]
+		if !ok {
+			return fmt.Errorf("scenario: workload %d: unknown kind %q (have %v)", i, w.Kind, KindNames())
+		}
+		label := fmt.Sprintf("workload %d (%s)", i, w.Kind)
+		switch w.Priority {
+		case "", "hpw", "lpw", "HPW", "LPW":
+		default:
+			return fmt.Errorf("scenario: %s: bad priority %q (want hpw or lpw)", label, w.Priority)
+		}
+		if len(w.Cores) == 0 {
+			return fmt.Errorf("scenario: %s: no cores", label)
+		}
+		if k.cores > 0 && len(w.Cores) != k.cores {
+			return fmt.Errorf("scenario: %s: needs exactly %d core(s), got %d", label, k.cores, len(w.Cores))
+		}
+		for _, c := range w.Cores {
+			if c < 0 || c >= numCores {
+				return fmt.Errorf("scenario: %s: core %d outside [0,%d)", label, c, numCores)
+			}
+			if prev, taken := owner[c]; taken {
+				return fmt.Errorf("scenario: %s: core %d already used by %s", label, c, prev)
+			}
+			owner[c] = label
+		}
+		if err := checkKnobs(w, k.knobs); err != nil {
+			return fmt.Errorf("scenario: %s: %w", label, err)
+		}
+		if err := k.validate(w); err != nil {
+			return fmt.Errorf("scenario: %s: %w", label, err)
+		}
+		// Duplicate detection runs on the effective names, which for
+		// fixed-name kinds (fastclick, spec, redis) only normalize knows.
+		eff := *w
+		k.normalize(&eff)
+		for _, n := range k.names(&eff) {
+			if prev, dup := names[n]; dup {
+				return fmt.Errorf("scenario: %s: workload name %q already used by %s", label, n, prev)
+			}
+			names[n] = label
+		}
+	}
+	return nil
+}
+
+// Params resolves the harness parameters for the spec.
+func (sp *Spec) harnessParams() harness.Params {
+	p := harness.DefaultParams()
+	if sp.Params.RateScale > 0 {
+		p.RateScale = sp.Params.RateScale
+	}
+	if sp.Params.Seed != 0 {
+		p.Seed = sp.Params.Seed
+	}
+	if sp.Params.NICGbps > 0 {
+		p.NICGbps = sp.Params.NICGbps
+	}
+	if sp.Params.PacketBytes > 0 {
+		p.PacketBytes = sp.Params.PacketBytes
+	}
+	if sp.Params.RingEntries > 0 {
+		p.RingEntries = sp.Params.RingEntries
+	}
+	if sp.Params.SSDGBps > 0 {
+		p.SSDGBps = sp.Params.SSDGBps
+	}
+	return p
+}
+
+// Build validates the spec and constructs the scenario with every workload
+// registered, returning it together with the resolved manager. The caller
+// owns Start and Run — cmd/a4d attaches streaming observers in between.
+func (sp *Spec) Build() (*harness.Scenario, harness.ManagerSpec, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, harness.ManagerSpec{}, err
+	}
+	mgr, _ := ManagerByName(sp.Manager)
+	s := harness.NewScenario(sp.harnessParams())
+	for i := range sp.Workloads {
+		w := sp.Workloads[i] // copy: build may read normalized knobs
+		kinds[w.Kind].normalize(&w)
+		if err := kinds[w.Kind].build(s, &w); err != nil {
+			return nil, harness.ManagerSpec{}, fmt.Errorf("scenario: workload %d (%s): %w", i, w.Kind, err)
+		}
+	}
+	return s, mgr, nil
+}
+
+// Start normalizes the spec in place, builds the scenario, and attaches
+// the manager, ready to Run. Normalizing first means callers that read the
+// windows afterwards (s.Run(sp.WarmupSec, sp.MeasureSec) — the examples'
+// pattern) always run the hash-covered defaults, never zero windows.
+func (sp *Spec) Start() (*harness.Scenario, error) {
+	if err := sp.Normalize(); err != nil {
+		return nil, err
+	}
+	s, mgr, err := sp.Build()
+	if err != nil {
+		return nil, err
+	}
+	s.Start(mgr)
+	return s, nil
+}
+
+// Run executes the spec end to end — build, start, warmup, measure — and
+// renders the deterministic report. This is the entry point the service's
+// workers use. Execution happens on a normalized clone, so the windows and
+// knobs that run are exactly the ones the content hash covers.
+func (sp *Spec) Run() (*Report, error) {
+	run := sp.Clone()
+	if err := run.Normalize(); err != nil {
+		return nil, err
+	}
+	hash, err := run.Hash()
+	if err != nil {
+		return nil, err
+	}
+	s, err := run.Start()
+	if err != nil {
+		return nil, err
+	}
+	res := s.Run(run.WarmupSec, run.MeasureSec)
+	rep := FromResult(run, hash, res)
+	return rep, nil
+}
+
+// KindNames lists the registered workload kinds, sorted.
+func KindNames() []string {
+	out := make([]string, 0, len(kinds))
+	for k := range kinds {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

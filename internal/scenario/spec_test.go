@@ -1,0 +1,441 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// tinySpec returns a minimal valid spec for hashing tests.
+func tinySpec() *Spec {
+	return &Spec{
+		Name:    "t",
+		Manager: "a4-d",
+		Workloads: []WorkloadSpec{
+			{Kind: "xmem", Name: "xmem", Cores: []int{0}, Priority: "hpw", WSKB: 1024, Pattern: "sequential"},
+		},
+	}
+}
+
+func mustHash(t *testing.T, sp *Spec) string {
+	t.Helper()
+	h, err := sp.Hash()
+	if err != nil {
+		t.Fatalf("Hash: %v", err)
+	}
+	return h
+}
+
+func TestHashStableAcrossFieldOrder(t *testing.T) {
+	a := []byte(`{
+		"manager": "a4-d",
+		"name": "t",
+		"workloads": [
+			{"priority": "hpw", "cores": [0], "kind": "xmem", "ws_kb": 1024, "name": "xmem", "pattern": "sequential"}
+		]
+	}`)
+	b := []byte(`{
+		"name": "t",
+		"workloads": [
+			{"kind": "xmem", "name": "xmem", "cores": [0], "priority": "hpw", "ws_kb": 1024, "pattern": "sequential"}
+		],
+		"manager": "a4-d"
+	}`)
+	spA, err := Parse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spB, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha, hb := mustHash(t, spA), mustHash(t, spB); ha != hb {
+		t.Fatalf("field order changed hash: %s vs %s", ha, hb)
+	}
+}
+
+func TestHashStableAcrossDefaultedFields(t *testing.T) {
+	implicit := tinySpec()
+
+	explicit := tinySpec()
+	explicit.WarmupSec = DefaultWarmupSec
+	explicit.MeasureSec = DefaultMeasureSec
+	explicit.Workloads[0].Pattern = "sequential"
+
+	if hi, he := mustHash(t, implicit), mustHash(t, explicit); hi != he {
+		t.Fatalf("spelled-out defaults changed hash: %s vs %s", hi, he)
+	}
+
+	// Priority case folds: HPW and hpw are one scenario.
+	upper := tinySpec()
+	upper.Workloads[0].Priority = "HPW"
+	if mustHash(t, upper) != mustHash(t, implicit) {
+		t.Fatal("priority case changed hash")
+	}
+
+	// Manager aliases fold to one canonical name.
+	alias := tinySpec()
+	alias.Manager = "a4"
+	if mustHash(t, alias) != mustHash(t, implicit) {
+		t.Fatal("manager alias a4 hashed differently from a4-d")
+	}
+
+	// Defaulted fio knobs equal explicit ones.
+	fioImplicit := &Spec{
+		Manager:   "default",
+		Workloads: []WorkloadSpec{{Kind: "fio", Cores: []int{0, 1}}},
+	}
+	fioExplicit := &Spec{
+		Manager: "default",
+		Workloads: []WorkloadSpec{{
+			Kind: "fio", Name: "fio", Cores: []int{0, 1}, Priority: "lpw",
+			BlockKB: 128, QueueDepth: 32,
+		}},
+	}
+	if mustHash(t, fioImplicit) != mustHash(t, fioExplicit) {
+		t.Fatal("defaulted fio knobs hashed differently from explicit ones")
+	}
+}
+
+func TestHashDistinguishesScenarios(t *testing.T) {
+	base := tinySpec()
+	seen := map[string]string{mustHash(t, base): "base"}
+	variants := map[string]*Spec{}
+
+	v := tinySpec()
+	v.Manager = "isolate"
+	variants["manager"] = v
+
+	v = tinySpec()
+	v.Workloads[0].WSKB = 2048
+	variants["ws_kb"] = v
+
+	v = tinySpec()
+	v.Workloads[0].Cores = []int{1}
+	variants["cores"] = v
+
+	v = tinySpec()
+	v.Params.Seed = 7
+	variants["seed"] = v
+
+	v = tinySpec()
+	v.MeasureSec = 5
+	variants["measure"] = v
+
+	for what, sp := range variants {
+		h := mustHash(t, sp)
+		if prev, dup := seen[h]; dup {
+			t.Errorf("%s variant collides with %s", what, prev)
+		}
+		seen[h] = what
+	}
+}
+
+func TestCanonicalRoundTrip(t *testing.T) {
+	sp, err := BuiltinMix("hpw-heavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := sp.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Canonical bytes reparse to a spec with the same canonical bytes.
+	sp2, err := Parse(c1)
+	if err != nil {
+		t.Fatalf("canonical form does not reparse: %v", err)
+	}
+	c2, err := sp2.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Fatalf("canonical not a fixed point:\n%s\nvs\n%s", c1, c2)
+	}
+	// Canonical never mutates the caller's spec.
+	if sp2.Workloads[0].Name == "" {
+		t.Fatal("normalize did not make names explicit in canonical form")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(sp *Spec)
+		want string
+	}{
+		{"bad manager", func(sp *Spec) { sp.Manager = "lru" }, "unknown manager"},
+		{"unknown kind", func(sp *Spec) { sp.Workloads[0].Kind = "memcached" }, "unknown kind"},
+		{"no workloads", func(sp *Spec) { sp.Workloads = nil }, "no workloads"},
+		{"no cores", func(sp *Spec) { sp.Workloads[0].Cores = nil }, "no cores"},
+		{"core out of range", func(sp *Spec) { sp.Workloads[0].Cores = []int{99} }, "outside"},
+		{"bad priority", func(sp *Spec) { sp.Workloads[0].Priority = "urgent" }, "bad priority"},
+		{"negative window", func(sp *Spec) { sp.MeasureSec = -1 }, "negative run window"},
+		{
+			"overlapping cores",
+			func(sp *Spec) {
+				sp.Workloads = append(sp.Workloads, WorkloadSpec{
+					Kind: "xmem", Name: "x2", Cores: []int{0}, WSKB: 512,
+				})
+			},
+			"already used",
+		},
+		{
+			"duplicate names",
+			func(sp *Spec) {
+				sp.Workloads = append(sp.Workloads, WorkloadSpec{
+					Kind: "xmem", Name: "xmem", Cores: []int{1}, WSKB: 512,
+				})
+			},
+			`name "xmem" already used`,
+		},
+		{
+			"unknown SPEC bench",
+			func(sp *Spec) {
+				sp.Workloads = append(sp.Workloads, WorkloadSpec{
+					Kind: "spec", Bench: "gcc", Cores: []int{1},
+				})
+			},
+			"unknown SPEC benchmark",
+		},
+		{
+			"spec core count",
+			func(sp *Spec) {
+				sp.Workloads = append(sp.Workloads, WorkloadSpec{
+					Kind: "spec", Bench: "x264", Cores: []int{1, 2},
+				})
+			},
+			"exactly 1 core",
+		},
+		{
+			"bad xmem pattern",
+			func(sp *Spec) { sp.Workloads[0].Pattern = "stride" },
+			"bad xmem pattern",
+		},
+		{
+			"inapplicable knob",
+			func(sp *Spec) { sp.Workloads[0].QueueDepth = 64 },
+			`knob "queue_depth" does not apply`,
+		},
+		{
+			"block_kb overflow",
+			func(sp *Spec) {
+				sp.Workloads = []WorkloadSpec{
+					{Kind: "fio", Cores: []int{0}, BlockKB: 1 << 53},
+				}
+			},
+			"block_kb",
+		},
+		{
+			"ws_kb overflow",
+			func(sp *Spec) { sp.Workloads[0].WSKB = 1 << 53 },
+			"ws_kb",
+		},
+		{
+			"negative param",
+			func(sp *Spec) { sp.Params.RateScale = -5 },
+			"negative param",
+		},
+		{
+			"fixed-name conflict",
+			func(sp *Spec) {
+				sp.Workloads = append(sp.Workloads, WorkloadSpec{
+					Kind: "spec", Bench: "x264", Name: "my-x264", Cores: []int{1},
+				})
+			},
+			"fixed name",
+		},
+		{
+			"inapplicable knob on dpdk",
+			func(sp *Spec) {
+				sp.Workloads = []WorkloadSpec{
+					{Kind: "dpdk", Cores: []int{0}, Touch: true, Bench: "x264"},
+				}
+			},
+			`knob "bench" does not apply`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sp := tinySpec()
+			tc.mut(sp)
+			err := sp.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			if _, err := sp.Hash(); err == nil {
+				t.Fatal("Hash succeeded on invalid spec")
+			}
+		})
+	}
+}
+
+// TestKnobTableCoversWorkloadSpec pins knobFields to WorkloadSpec: every
+// kind-specific field must appear in the table, so a future knob cannot
+// bypass the misapplied-knob rejection.
+func TestKnobTableCoversWorkloadSpec(t *testing.T) {
+	generic := map[string]bool{"kind": true, "name": true, "cores": true, "priority": true}
+	inTable := map[string]bool{}
+	for _, k := range knobFields {
+		inTable[k.name] = true
+	}
+	rt := reflect.TypeOf(WorkloadSpec{})
+	for i := 0; i < rt.NumField(); i++ {
+		tag := strings.SplitN(rt.Field(i).Tag.Get("json"), ",", 2)[0]
+		if tag == "" || tag == "-" || generic[tag] {
+			continue
+		}
+		if !inTable[tag] {
+			t.Errorf("WorkloadSpec field %q (json %q) missing from knobFields", rt.Field(i).Name, tag)
+		}
+	}
+	// Every knob a kind declares must exist in the table too.
+	for kind, k := range kinds {
+		for _, n := range k.knobs {
+			if !inTable[n] {
+				t.Errorf("kind %q declares unknown knob %q", kind, n)
+			}
+		}
+	}
+}
+
+func TestStartNormalizesWindows(t *testing.T) {
+	sp := tinySpec() // windows left zero
+	s, err := sp.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.WarmupSec != DefaultWarmupSec || sp.MeasureSec != DefaultMeasureSec {
+		t.Fatalf("Start left windows at (%g, %g); examples reading them would run zero windows",
+			sp.WarmupSec, sp.MeasureSec)
+	}
+	if s == nil {
+		t.Fatal("no scenario")
+	}
+}
+
+// TestCheckBudget pins the serving-policy bounds: they reject costly specs
+// without making them invalid (local CLI runs stay unrestricted).
+func TestCheckBudget(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(sp *Spec)
+		want string
+	}{
+		{"oversized window", func(sp *Spec) { sp.MeasureSec = 1e15 }, "exceeds"},
+		{"tiny rate scale", func(sp *Spec) { sp.Params.RateScale = 0.001 }, "rate_scale"},
+		{"work budget", func(sp *Spec) { sp.WarmupSec = 3000; sp.MeasureSec = 600; sp.Params.RateScale = 1 }, "work units"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sp := tinySpec()
+			tc.mut(sp)
+			if err := sp.Validate(); err != nil {
+				t.Fatalf("budget-bounded spec should still Validate, got %v", err)
+			}
+			err := sp.CheckBudget()
+			if err == nil {
+				t.Fatalf("CheckBudget accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	if err := tinySpec().CheckBudget(); err != nil {
+		t.Fatalf("tiny spec over budget: %v", err)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse([]byte(`{"manager": "a4-d", "wrkloads": []}`))
+	if err == nil {
+		t.Fatal("Parse accepted a misspelled field")
+	}
+}
+
+func TestBuiltinMixesValidate(t *testing.T) {
+	mixes := BuiltinMixes()
+	if len(mixes) < 4 {
+		t.Fatalf("expected at least 4 builtin mixes, got %v", mixes)
+	}
+	for _, name := range mixes {
+		sp, err := BuiltinMix(name)
+		if err != nil {
+			t.Fatalf("BuiltinMix(%s): %v", name, err)
+		}
+		if sp.Name != name {
+			t.Errorf("mix %s: spec name %q", name, sp.Name)
+		}
+		if err := sp.Validate(); err != nil {
+			t.Errorf("mix %s invalid: %v", name, err)
+		}
+		if _, _, err := sp.Build(); err != nil {
+			t.Errorf("mix %s does not build: %v", name, err)
+		}
+	}
+	if _, err := BuiltinMix("nope"); err == nil {
+		t.Fatal("BuiltinMix accepted unknown name")
+	}
+}
+
+func TestManagerRegistry(t *testing.T) {
+	for _, name := range ManagerNames() {
+		m, ok := ManagerByName(name)
+		if !ok {
+			t.Fatalf("ManagerByName(%s) missing", name)
+		}
+		if m.Name() != name {
+			t.Errorf("ManagerByName(%s).Name() = %s", name, m.Name())
+		}
+	}
+	if _, ok := ManagerByName("a4"); !ok {
+		t.Error("alias a4 not accepted")
+	}
+	if _, ok := ManagerByName("bogus"); ok {
+		t.Error("bogus manager accepted")
+	}
+}
+
+func TestRunTinyDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the simulator")
+	}
+	sp, err := BuiltinMix("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := sp.Clone().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sp.Clone().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := r1.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := r2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("two runs of the same spec encoded differently:\n%s\nvs\n%s", b1, b2)
+	}
+	if r1.W("dpdk-t").ProgressRate <= 0 {
+		t.Error("tiny mix report has no dpdk-t progress")
+	}
+	dec, err := DecodeReport(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Hash != r1.Hash || dec.W("xmem").LLCHitRate != r1.W("xmem").LLCHitRate {
+		t.Error("report did not round-trip through Encode/DecodeReport")
+	}
+}

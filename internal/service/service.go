@@ -1,0 +1,326 @@
+// Package service turns scenario execution into a served resource: a job
+// queue drained by a fixed worker pool (the figures sweep-runner pattern),
+// fronted by singleflight deduplication and an LRU result cache keyed by
+// the spec's content hash. Because the simulation is deterministic, a hash
+// fully identifies its report, so serving a cached or deduplicated result
+// is indistinguishable from re-running the scenario — that invariant is
+// what makes the cache sound, and internal/service's tests pin it.
+package service
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"a4sim/internal/scenario"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the execution pool degree; 0 means GOMAXPROCS.
+	Workers int
+	// CacheEntries caps the result cache; 0 means 256.
+	CacheEntries int
+	// MaxQueue caps jobs waiting for a worker; submissions beyond it fail
+	// fast with ErrBusy instead of growing memory without bound. 0 means
+	// 4096 (one full-size sweep).
+	MaxQueue int
+}
+
+// Stats are the service's monotonic counters, served by /stats.
+type Stats struct {
+	Hits       uint64 `json:"hits"`       // served from the result cache
+	Misses     uint64 `json:"misses"`     // required an execution
+	Dedups     uint64 `json:"dedups"`     // coalesced onto an in-flight run
+	Executions uint64 `json:"executions"` // scenario runs actually performed
+	Errors     uint64 `json:"errors"`     // failed submissions
+	Entries    int    `json:"entries"`    // current cache entries
+	Workers    int    `json:"workers"`    // pool degree
+	Queued     int    `json:"queued"`     // jobs waiting for a worker
+}
+
+// Result is one served submission.
+type Result struct {
+	// Hash is the spec's content address.
+	Hash string
+	// Cached reports whether the bytes came from the result cache (true) or
+	// a fresh execution (false); deduplicated waiters see Cached=false, as
+	// they paid for (a share of) the run.
+	Cached bool
+	// Report is the canonical report encoding; byte-identical for equal
+	// hashes.
+	Report []byte
+}
+
+// flight is one in-progress execution that concurrent identical
+// submissions wait on.
+type flight struct {
+	done   chan struct{}
+	report []byte
+	err    error
+}
+
+// Service serves scenario runs.
+type Service struct {
+	workers  int
+	maxQueue int
+	wg       sync.WaitGroup
+
+	mu       sync.Mutex
+	work     *sync.Cond // signals queue growth or close
+	queue    []func()
+	inflight map[string]*flight
+	cache    *lruCache
+	stats    Stats
+	closed   bool
+}
+
+// New starts a service with cfg's pool and cache.
+func New(cfg Config) *Service {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	entries := cfg.CacheEntries
+	if entries <= 0 {
+		entries = 256
+	}
+	maxQueue := cfg.MaxQueue
+	if maxQueue <= 0 {
+		maxQueue = MaxSweepPoints
+	}
+	s := &Service{
+		workers:  w,
+		maxQueue: maxQueue,
+		inflight: make(map[string]*flight),
+		cache:    newLRUCache(entries),
+	}
+	s.work = sync.NewCond(&s.mu)
+	s.stats.Workers = w
+	for i := 0; i < w; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// worker drains the job queue until the service is closed AND the queue is
+// empty — accepted jobs always execute, so no Submit waiter is stranded.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	s.mu.Lock()
+	for {
+		for len(s.queue) == 0 && !s.closed {
+			s.work.Wait()
+		}
+		if len(s.queue) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		job := s.queue[0]
+		s.queue[0] = nil // release the closure (and its Spec clone) promptly
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+		job()
+		s.mu.Lock()
+	}
+}
+
+// Close stops accepting submissions and waits for the pool to finish every
+// job already accepted (running or queued), so no waiter is stranded.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.work.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// ErrClosed is returned for submissions to a closed service.
+var ErrClosed = errors.New("service: closed")
+
+// ErrBusy is returned when the job queue is full; the submission was not
+// accepted and may be retried later.
+var ErrBusy = errors.New("service: job queue full")
+
+// RunError wraps a failure that happened while executing a scenario, as
+// opposed to rejecting its spec — callers (the HTTP layer) use errors.As
+// to distinguish a 5xx from a 4xx.
+type RunError struct {
+	Hash string
+	Err  error
+}
+
+func (e *RunError) Error() string {
+	return fmt.Sprintf("service: run %.12s: %v", e.Hash, e.Err)
+}
+
+func (e *RunError) Unwrap() error { return e.Err }
+
+// Submit runs one spec, serving from the cache or an in-flight duplicate
+// when possible. It blocks until the report is available.
+func (s *Service) Submit(sp *scenario.Spec) (Result, error) {
+	hash, err := sp.Hash()
+	if err == nil {
+		// Serving policy, on top of spec validity: untrusted submissions
+		// must fit the execution budget.
+		err = sp.CheckBudget()
+	}
+	if err != nil {
+		s.mu.Lock()
+		s.stats.Errors++
+		s.mu.Unlock()
+		return Result{}, err
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Result{}, ErrClosed
+	}
+	if rep, ok := s.cache.get(hash); ok {
+		s.stats.Hits++
+		s.mu.Unlock()
+		return Result{Hash: hash, Cached: true, Report: rep}, nil
+	}
+	if f, ok := s.inflight[hash]; ok {
+		// Coalesce onto the running execution rather than queueing a
+		// duplicate job.
+		s.stats.Dedups++
+		s.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return Result{}, f.err
+		}
+		return Result{Hash: hash, Cached: false, Report: f.report}, nil
+	}
+	// Backpressure: an unbounded queue would let distinct-spec floods grow
+	// memory without limit. Checked before the flight is registered, so no
+	// dedup waiter can attach to a submission that was never accepted.
+	if len(s.queue) >= s.maxQueue {
+		s.stats.Errors++
+		s.mu.Unlock()
+		return Result{}, ErrBusy
+	}
+	s.stats.Misses++
+	f := &flight{done: make(chan struct{})}
+	s.inflight[hash] = f
+	s.stats.Queued++
+
+	// The spec may be mutated by the caller after Submit returns for a
+	// deduplicated waiter, so the executing job owns a private copy.
+	run := sp.Clone()
+	job := func() {
+		defer close(f.done)
+		s.mu.Lock()
+		s.stats.Queued--
+		s.stats.Executions++
+		s.mu.Unlock()
+		rep, err := runSpec(run)
+		var data []byte
+		if err == nil {
+			data, err = rep.Encode()
+		}
+		s.mu.Lock()
+		delete(s.inflight, hash)
+		if err != nil {
+			s.stats.Errors++
+			f.err = &RunError{Hash: hash, Err: err}
+		} else {
+			f.report = data
+			s.cache.put(hash, data)
+		}
+		s.mu.Unlock()
+	}
+
+	// Still under s.mu from the miss bookkeeping above: enqueue and wake a
+	// worker atomically with the closed check, so an accepted job is
+	// guaranteed to run.
+	s.queue = append(s.queue, job)
+	s.work.Signal()
+	s.mu.Unlock()
+
+	<-f.done
+	if f.err != nil {
+		return Result{}, f.err
+	}
+	return Result{Hash: hash, Cached: false, Report: f.report}, nil
+}
+
+// runSpec executes a spec, converting a panic anywhere in the simulator
+// into an error so one bad submission cannot take down the daemon's worker
+// pool.
+func runSpec(sp *scenario.Spec) (rep *scenario.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep, err = nil, fmt.Errorf("panic during run: %v", r)
+		}
+	}()
+	return sp.Run()
+}
+
+// Lookup serves a cached report by hash without triggering execution. It
+// does not touch the hit/miss counters: those account /run submissions
+// only, and retrieval traffic would distort them.
+func (s *Service) Lookup(hash string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.get(hash)
+}
+
+// Stats snapshots the counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = s.cache.len()
+	return st
+}
+
+// lruCache is a plain entry-capped LRU: map + recency list, guarded by the
+// service mutex.
+type lruCache struct {
+	cap   int
+	ll    *list.List // front = most recent
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	data []byte
+}
+
+func newLRUCache(capEntries int) *lruCache {
+	return &lruCache{cap: capEntries, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *lruCache) get(key string) ([]byte, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).data, true
+}
+
+func (c *lruCache) put(key string, data []byte) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).data = data
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, data: data})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lruCache) len() int { return c.ll.Len() }

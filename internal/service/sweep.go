@@ -1,0 +1,209 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"a4sim/internal/scenario"
+)
+
+// Axis is one swept parameter: a spec field name and the values the sweep
+// takes for it. Supported params: rate_scale, seed, nic_gbps, packet_bytes,
+// ring_entries, ssd_gbps, warmup_sec, measure_sec, and "manager" via
+// Managers (strings) instead of Values.
+type Axis struct {
+	Param    string    `json:"param"`
+	Values   []float64 `json:"values,omitempty"`
+	Managers []string  `json:"managers,omitempty"`
+}
+
+// MaxSweepPoints caps one sweep's grid size.
+const MaxSweepPoints = 4096
+
+// SweepRequest is a base spec plus the grid to expand around it.
+type SweepRequest struct {
+	Spec scenario.Spec `json:"spec"`
+	Axes []Axis        `json:"axes"`
+}
+
+// SweepPoint is one grid point's outcome, in grid order.
+type SweepPoint struct {
+	// Grid holds the axis values this point was run at, keyed by param.
+	Grid   map[string]any `json:"grid"`
+	Hash   string         `json:"hash"`
+	Cached bool           `json:"cached"`
+	Report []byte         `json:"-"`
+}
+
+func applyAxis(sp *scenario.Spec, param string, v float64, mgr string) error {
+	// Zero means "use the default" everywhere in spec semantics, so a grid
+	// point claiming value 0 would silently run the default and its label
+	// would lie; reject it instead. Likewise a fractional value for an
+	// integer param would silently truncate under its label.
+	if param != "manager" {
+		if v <= 0 {
+			return fmt.Errorf("service: sweep axis %q: value %g not positive (omit the axis to use the default)", param, v)
+		}
+		switch param {
+		case "seed", "packet_bytes", "ring_entries":
+			if v != math.Trunc(v) {
+				return fmt.Errorf("service: sweep axis %q: value %g is not an integer", param, v)
+			}
+			// Conversions from out-of-range floats are implementation-
+			// defined (amd64 and arm64 disagree), which would break the
+			// hash-determinism contract; 2^53 is where float64 stops
+			// representing integers exactly anyway.
+			if v > 1<<53 {
+				return fmt.Errorf("service: sweep axis %q: value %g too large", param, v)
+			}
+		}
+	}
+	switch param {
+	case "manager":
+		sp.Manager = mgr
+	case "rate_scale":
+		sp.Params.RateScale = v
+	case "seed":
+		sp.Params.Seed = uint64(v)
+	case "nic_gbps":
+		sp.Params.NICGbps = v
+	case "packet_bytes":
+		sp.Params.PacketBytes = int(v)
+	case "ring_entries":
+		sp.Params.RingEntries = int(v)
+	case "ssd_gbps":
+		sp.Params.SSDGBps = v
+	case "warmup_sec":
+		sp.WarmupSec = v
+	case "measure_sec":
+		sp.MeasureSec = v
+	default:
+		return fmt.Errorf("service: unknown sweep param %q", param)
+	}
+	return nil
+}
+
+// expand builds the cartesian product of the axes over the base spec. The
+// point order is row-major in axis order, so it is a pure function of the
+// request — the worker count never reorders results.
+func expand(req *SweepRequest) ([]*scenario.Spec, []map[string]any, error) {
+	if len(req.Axes) == 0 {
+		return nil, nil, fmt.Errorf("service: sweep needs at least one axis")
+	}
+	seen := map[string]bool{}
+	total := 1
+	for _, ax := range req.Axes {
+		if seen[ax.Param] {
+			return nil, nil, fmt.Errorf("service: duplicate sweep axis %q", ax.Param)
+		}
+		seen[ax.Param] = true
+		// An axis fills exactly one of values/managers; silently dropping
+		// the other would run a sweep the client did not ask for.
+		if ax.Param == "manager" && len(ax.Values) > 0 {
+			return nil, nil, fmt.Errorf("service: sweep axis %q takes managers, not values", ax.Param)
+		}
+		if ax.Param != "manager" && len(ax.Managers) > 0 {
+			return nil, nil, fmt.Errorf("service: sweep axis %q takes values, not managers", ax.Param)
+		}
+		n := len(ax.Values)
+		if ax.Param == "manager" {
+			n = len(ax.Managers)
+		}
+		if n > 0 {
+			total *= n
+		}
+		// Checked before any allocation: a small request body can encode a
+		// cartesian blowup, and the daemon must reject it, not OOM.
+		if total > MaxSweepPoints {
+			return nil, nil, fmt.Errorf("service: sweep grid exceeds %d points", MaxSweepPoints)
+		}
+	}
+	specs := []*scenario.Spec{req.Spec.Clone()}
+	grids := []map[string]any{{}}
+	for _, ax := range req.Axes {
+		n := len(ax.Values)
+		isMgr := ax.Param == "manager"
+		if isMgr {
+			n = len(ax.Managers)
+		}
+		if n == 0 {
+			return nil, nil, fmt.Errorf("service: sweep axis %q has no values", ax.Param)
+		}
+		next := make([]*scenario.Spec, 0, len(specs)*n)
+		nextG := make([]map[string]any, 0, len(specs)*n)
+		for i, base := range specs {
+			for j := 0; j < n; j++ {
+				sp := base.Clone()
+				g := make(map[string]any, len(grids[i])+1)
+				for k, v := range grids[i] {
+					g[k] = v
+				}
+				var err error
+				if isMgr {
+					mgr := ax.Managers[j]
+					// Fold aliases so the grid label matches the canonical
+					// manager the point actually hashes as.
+					if m, ok := scenario.ManagerByName(mgr); ok {
+						mgr = m.Name()
+					}
+					err = applyAxis(sp, ax.Param, 0, mgr)
+					g[ax.Param] = mgr
+				} else {
+					err = applyAxis(sp, ax.Param, ax.Values[j], "")
+					g[ax.Param] = ax.Values[j]
+				}
+				if err != nil {
+					return nil, nil, err
+				}
+				next = append(next, sp)
+				nextG = append(nextG, g)
+			}
+		}
+		specs, grids = next, nextG
+	}
+	return specs, grids, nil
+}
+
+// Sweep expands the grid and runs every point on the worker pool,
+// returning results in grid order. Points whose hash is already cached (or
+// duplicated within the grid) are served without re-execution; each point's
+// report is byte-identical at any worker count.
+func (s *Service) Sweep(req *SweepRequest) ([]SweepPoint, error) {
+	specs, grids, err := expand(req)
+	if err != nil {
+		return nil, err
+	}
+	// Validate the whole grid before running any of it, so a bad corner of
+	// the grid doesn't waste the good corner's execution.
+	for i, sp := range specs {
+		if err := sp.Validate(); err != nil {
+			return nil, fmt.Errorf("service: sweep point %d: %w", i, err)
+		}
+		if err := sp.CheckBudget(); err != nil {
+			return nil, fmt.Errorf("service: sweep point %d: %w", i, err)
+		}
+	}
+	points := make([]SweepPoint, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := s.Submit(specs[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			points[i] = SweepPoint{Grid: grids[i], Hash: res.Hash, Cached: res.Cached, Report: res.Report}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("service: sweep point %d: %w", i, err)
+		}
+	}
+	return points, nil
+}

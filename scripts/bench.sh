@@ -2,7 +2,10 @@
 # bench.sh — run the benchmark suite once and record the results as
 # BENCH_<date>.json (op nanoseconds plus the headline figure metrics each
 # benchmark reports via b.ReportMetric), so successive PRs leave a perf
-# trajectory in the repo history.
+# trajectory in the repo history. Also measures scenario-serving
+# throughput: an a4serve daemon is started locally and hammered with the
+# built-in load generator, and the resulting service_cached_rps (cache-served
+# requests per second of wall time) lands in the same JSON.
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=5x scripts/bench.sh   # more iterations for stabler numbers
@@ -16,12 +19,48 @@ benchtime="${BENCHTIME:-1x}"
 raw=$(go test -run '^$' -bench . -benchtime "$benchtime" .)
 echo "$raw"
 
+# Serving throughput: start a throwaway daemon, loadgen against it, parse
+# the service_cached_rps line. Guarded so a sandboxed environment without
+# loopback listening still records the compute benchmarks.
+serve_rps=0
+serve_pid=""
+serve_port="${A4SERVE_PORT:-8046}"
+serve_bin=$(mktemp -t a4serve.XXXXXX)
+trap 'if [ -n "$serve_pid" ]; then kill "$serve_pid" 2>/dev/null || true; fi; rm -f "$serve_bin"' EXIT
+if curl -sf "http://127.0.0.1:$serve_port/healthz" >/dev/null 2>&1; then
+	# A stale daemon owns the port; measuring against it would record an
+	# old build's (warm-cache) throughput. Record 0 instead.
+	echo "bench.sh: port $serve_port already serving; recording service_cached_rps=0" >&2
+elif go build -o "$serve_bin" ./cmd/a4serve; then
+	"$serve_bin" -addr "127.0.0.1:$serve_port" -workers 4 >/dev/null 2>&1 &
+	serve_pid=$!
+	for _ in $(seq 1 50); do
+		if curl -sf "http://127.0.0.1:$serve_port/healthz" >/dev/null 2>&1; then
+			break
+		fi
+		sleep 0.2
+	done
+	# A nonzero loadgen exit means some requests failed; record 0 rather
+	# than an rps figure measured under failure conditions.
+	if loadgen_out=$("$serve_bin" -loadgen -url "http://127.0.0.1:$serve_port" \
+		-n "${LOADGEN_N:-120}" -clients "${LOADGEN_CLIENTS:-8}" -fresh 0.25); then
+		echo "$loadgen_out"
+		serve_rps=$(echo "$loadgen_out" | awk -F= '/^service_cached_rps=/ {print $2}')
+		serve_rps="${serve_rps:-0}"
+	else
+		echo "bench.sh: loadgen failed; recording service_cached_rps=0" >&2
+	fi
+	kill "$serve_pid" 2>/dev/null || true
+	serve_pid=""
+fi
+
 # Convert `BenchmarkName  N  1234 ns/op  5.6 metric ...` lines to JSON.
 {
 	echo '{'
 	echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
 	echo "  \"benchtime\": \"$benchtime\","
 	echo "  \"go\": \"$(go version | awk '{print $3}')\","
+	echo "  \"service_cached_rps\": ${serve_rps},"
 	echo '  "benchmarks": {'
 	echo "$raw" | awk '
 		/^Benchmark/ {
