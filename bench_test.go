@@ -216,6 +216,77 @@ func BenchmarkScenarioSecond(b *testing.B) {
 	}
 }
 
+// --- sweep forking (snapshot/fork warm-state reuse) ---
+
+// sweepForkPoints is the benchmark sweep: divergent X-Mem mask positions
+// over one shared prefix, warm-up-dominated (warmup >= measure) as in the
+// paper's figure runs.
+var sweepForkPoints = []int{0, 2, 4, 6, 8, 9}
+
+const (
+	sweepForkWarmup  = 4.0
+	sweepForkMeasure = 1.0
+)
+
+// buildSweepForkPrefix constructs and starts the shared scenario prefix.
+func buildSweepForkPrefix() *harness.Scenario {
+	s := harness.NewScenario(harness.DefaultParams())
+	d := s.AddDPDK("dpdk-t", []int{0, 1, 2, 3}, true, workload.HPW)
+	s.AddXMem("xmem", []int{4, 5}, 4<<20, workload.Sequential, false, workload.HPW)
+	s.Start(harness.Default())
+	pinWays(s, 1, d.Cores(), 5, 6)
+	return s
+}
+
+func pinWays(s *harness.Scenario, clos int, cores []int, lo, hi int) {
+	if err := s.H.CAT().SetWayRange(clos, lo, hi); err != nil {
+		panic(err)
+	}
+	for _, c := range cores {
+		if err := s.H.CAT().Associate(c, clos); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// BenchmarkSweepFork compares the two runner strategies on the same sweep,
+// serially, so the ratio of the sub-benchmarks' ns/op is the wall-clock
+// reduction from warm-state reuse alone (scripts/bench.sh records it as
+// sweep_fork_speedup). The fork contract makes both produce identical
+// results; see figures.TestPrefixSweepMatchesFresh for the pin.
+func BenchmarkSweepFork(b *testing.B) {
+	measurePoint := func(s *harness.Scenario, lo int) *harness.Result {
+		pinWays(s, 2, []int{4, 5}, lo, lo+1)
+		s.BeginMeasure()
+		s.Measure(sweepForkMeasure)
+		return s.EndMeasure()
+	}
+	b.Run("fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, lo := range sweepForkPoints {
+				s := buildSweepForkPrefix()
+				s.Warm(sweepForkWarmup)
+				if measurePoint(s, lo) == nil {
+					b.Fatal("no result")
+				}
+			}
+		}
+		b.ReportMetric(float64(len(sweepForkPoints)), "points")
+	})
+	b.Run("forked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := buildSweepForkPrefix()
+			s.Warm(sweepForkWarmup)
+			for _, lo := range sweepForkPoints {
+				if measurePoint(s.Fork(), lo) == nil {
+					b.Fatal("no result")
+				}
+			}
+		}
+		b.ReportMetric(float64(len(sweepForkPoints)), "points")
+	})
+}
+
 // --- ablation benchmarks (design-choice knobs of DESIGN.md §4) ---
 
 func benchAblation(b *testing.B, id string, metrics func(r *figures.Report, b *testing.B)) {

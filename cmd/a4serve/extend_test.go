@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"a4sim/internal/scenario"
+)
+
+func postJSON(t *testing.T, srv *httptest.Server, path string, body []byte) (*http.Response, runResponse) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rr runResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, rr
+}
+
+// TestExtendEndpoint pins the /extend HTTP contract: a served run is
+// extendable by content address, and the extended report is byte-identical
+// to POSTing the longer spec to /run from scratch.
+func TestExtendEndpoint(t *testing.T) {
+	srv := testServer(t)
+
+	_, first := postJSON(t, srv, "/run", tinyBody(t))
+	if first.Hash == "" {
+		t.Fatal("no hash from /run")
+	}
+
+	resp, ext := postJSON(t, srv, "/extend",
+		[]byte(fmt.Sprintf(`{"hash":%q,"measure_sec":4}`, first.Hash)))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /extend status %d", resp.StatusCode)
+	}
+	if ext.Hash == first.Hash {
+		t.Error("extension must re-address under the longer window's hash")
+	}
+
+	// Ground truth: the same longer spec POSTed as a fresh run on a second,
+	// snapshot-cold daemon.
+	sp, err := scenario.BuiltinMix("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Params.RateScale = 8192
+	sp.MeasureSec = 4
+	longBody, _ := json.Marshal(sp)
+	cold := testServer(t)
+	_, fresh := postJSON(t, cold, "/run", longBody)
+	if !bytes.Equal(ext.Report, fresh.Report) {
+		t.Fatalf("/extend report differs from fresh /run:\n%s\nvs\n%s", ext.Report, fresh.Report)
+	}
+
+	// The warm daemon serves the same bytes for the long spec from cache.
+	_, again := postJSON(t, srv, "/run", longBody)
+	if !again.Cached || !bytes.Equal(again.Report, ext.Report) {
+		t.Error("extended result not cached under the longer spec's hash")
+	}
+}
+
+func TestExtendEndpointErrors(t *testing.T) {
+	srv := testServer(t)
+
+	resp, _ := postJSON(t, srv, "/extend", []byte(`{"hash":"feedface","measure_sec":2}`))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown hash: status %d, want 404", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, srv, "/extend", []byte(`{"hash":"x","measure_sec":2,"bogus":1}`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d, want 400", resp.StatusCode)
+	}
+	_, first := postJSON(t, srv, "/run", tinyBody(t))
+	resp, _ = postJSON(t, srv, "/extend",
+		[]byte(fmt.Sprintf(`{"hash":%q,"measure_sec":-3}`, first.Hash)))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("negative window: status %d, want 422", resp.StatusCode)
+	}
+}

@@ -8,10 +8,14 @@
 // Endpoints:
 //
 //	POST /run          spec JSON -> {hash, cached, report}
+//	POST /extend       {hash, measure_sec} -> {hash, cached, report}: re-run
+//	                   a previously served spec with a longer measurement
+//	                   window, continuing from its cached warm snapshot
+//	                   instead of restarting (404 for unknown hashes)
 //	POST /sweep        {spec, axes: [{param, values|managers}]} -> {points}
 //	GET  /result/<hash>  cached report by content address (404 if evicted)
 //	GET  /healthz      liveness
-//	GET  /stats        cache hit/miss, dedup, execution counters
+//	GET  /stats        cache hit/miss, dedup, execution, snapshot counters
 //
 // Usage:
 //
@@ -94,6 +98,35 @@ func newMux(svc *service.Service) *http.ServeMux {
 		// and statusForErr maps the rejection to 422.
 		res, err := svc.Submit(sp)
 		if err != nil {
+			httpError(w, statusForErr(err), err.Error())
+			return
+		}
+		writeJSON(w, map[string]any{
+			"hash":   res.Hash,
+			"cached": res.Cached,
+			"report": json.RawMessage(res.Report),
+		})
+	})
+	mux.HandleFunc("POST /extend", func(w http.ResponseWriter, r *http.Request) {
+		body, err := readBody(w, r)
+		if err != nil {
+			httpError(w, bodyErrStatus(err), err.Error())
+			return
+		}
+		var req struct {
+			Hash       string  `json:"hash"`
+			MeasureSec float64 `json:"measure_sec"`
+		}
+		if err := scenario.StrictDecode(body, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		res, err := svc.Extend(req.Hash, req.MeasureSec)
+		if err != nil {
+			if errors.Is(err, service.ErrUnknownHash) {
+				httpError(w, http.StatusNotFound, err.Error())
+				return
+			}
 			httpError(w, statusForErr(err), err.Error())
 			return
 		}

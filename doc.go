@@ -25,7 +25,14 @@
 // a worker pool, singleflight deduplication, and an LRU result cache keyed
 // by spec hash — determinism makes cache hits byte-identical to fresh runs.
 //
+// Simulation state is forkable: every layer implements a deep-copy
+// contract composed by harness.Scenario.Fork/Snapshot, with forked
+// execution byte-identical to fresh execution (DESIGN.md §10). Sweeps
+// whose points share a prefix warm it once and fork per point, and
+// a4serve caches warm snapshots so POST /extend and measure-window sweep
+// rows simulate only their additional seconds.
+//
 // Build with the included go.mod (module a4sim); scripts/bench.sh records
-// benchmark snapshots (including a4serve's cache-served throughput) as
-// BENCH_<date>.json.
+// benchmark snapshots (including a4serve's cache-served throughput and
+// the warm-state-reuse ratio sweep_fork_speedup) as BENCH_<date>.json.
 package a4sim

@@ -1,0 +1,59 @@
+package figures
+
+import (
+	"reflect"
+	"testing"
+
+	"a4sim/internal/harness"
+	"a4sim/internal/workload"
+)
+
+// testPrefixGroup is a small warm-up-dominated sweep: one shared prefix,
+// three divergent mask positions.
+func testPrefixGroup(o Options) prefixSweep {
+	grp := prefixSweep{
+		build: func() *harness.Scenario {
+			s := harness.NewScenario(o.Params)
+			d := s.AddDPDK("dpdk-t", []int{0, 1, 2, 3}, true, workload.HPW)
+			x := s.AddXMem("xmem", []int{4, 5}, defaultXMemWS, workload.Sequential, false, workload.HPW)
+			s.Start(harness.Default())
+			pin(s, 1, d.Cores(), 5, 6)
+			pin(s, 2, x.Cores(), 0, 10)
+			return s
+		},
+		warm: 2,
+		meas: 1,
+	}
+	for _, lo := range []int{0, 5, 9} {
+		lo := lo
+		grp.diverge = append(grp.diverge, func(s *harness.Scenario) {
+			pin(s, 2, []int{4, 5}, lo, lo+1)
+		})
+	}
+	return grp
+}
+
+// TestPrefixSweepMatchesFresh pins the acceptance property of the forked
+// runner: every point of a prefix-shared sweep is identical to a fresh,
+// serial, non-forking run of the same point (build, warm, diverge at the
+// measurement boundary, measure) — at any worker count.
+func TestPrefixSweepMatchesFresh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario runs are slow")
+	}
+	o := detOpts(4)
+	grp := testPrefixGroup(o)
+	forked := runPrefixSweeps(o, []prefixSweep{grp})[0]
+
+	for p, div := range grp.diverge {
+		s := grp.build()
+		s.Warm(grp.warm)
+		div(s)
+		s.BeginMeasure()
+		s.Measure(grp.meas)
+		fresh := s.EndMeasure()
+		if !reflect.DeepEqual(fresh, forked[p]) {
+			t.Errorf("point %d: forked result differs from fresh run\nfresh: %+v\nfork:  %+v", p, fresh, forked[p])
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"a4sim/internal/harness"
 )
 
 // The sweep runner executes independent scenario points of a figure
@@ -12,6 +14,16 @@ import (
 // bit-identical to serial execution regardless of scheduling; only the
 // assembly order matters, and callers assemble from an index-addressed
 // result slice after the pool drains.
+//
+// Sweeps whose points share a scenario prefix — identical construction,
+// manager, and warm-up, diverging only in a measurement-time knob (a CAT
+// mask position, a DCA switch) — run through runPrefixSweeps instead: the
+// prefix is built and warmed once per group, and each point forks the warm
+// state, applies its divergence, and measures. The snapshot/fork contract
+// (forked-run ≡ fresh-run, see internal/harness/fork.go) makes the grouped
+// execution byte-identical to running every point fresh with the same
+// divergence timing, at a fraction of the wall-clock cost when warm-up
+// dominates the windows.
 
 // Workers resolves the worker-pool degree for o: Options.Workers when
 // positive, else GOMAXPROCS.
@@ -80,6 +92,62 @@ func runPoints[T any](o Options, n int, point func(i int) T) []T {
 	out := make([]T, n)
 	forEachPoint(o, n, func(i int) {
 		out[i] = point(i)
+	})
+	return out
+}
+
+// prefixSweep is one group of sweep points sharing a scenario prefix. build
+// constructs and Starts the shared scenario; it is warmed for warm simulated
+// seconds exactly once. Each entry of diverge is one point: it receives a
+// fork of the warm state, applies the point's knob (a nil entry diverges by
+// nothing), and is measured for meas seconds. Divergence therefore lands at
+// the measurement boundary — for CAT masks that is the §5.5 semantics of
+// programming a mask on a live system (new allocations only), and for DCA
+// knobs it is exactly how the A4 daemon flips ports at runtime.
+type prefixSweep struct {
+	build   func() *harness.Scenario
+	warm    float64
+	meas    float64
+	diverge []func(*harness.Scenario)
+}
+
+// runPrefixSweeps executes the groups on the worker pool in two phases:
+// every group's prefix is built and warmed (concurrently across groups),
+// then every point forks, diverges, and measures (concurrently across all
+// points of all groups). A single-point group skips the fork and measures
+// the warmed prefix directly — equivalent by the fork contract. Results are
+// indexed [group][point]; reports are byte-identical at any worker count.
+func runPrefixSweeps(o Options, groups []prefixSweep) [][]*harness.Result {
+	warmed := make([]*harness.Scenario, len(groups))
+	forEachPoint(o, len(groups), func(g int) {
+		s := groups[g].build()
+		s.Warm(groups[g].warm)
+		warmed[g] = s
+	})
+	type point struct{ g, p int }
+	var pts []point
+	out := make([][]*harness.Result, len(groups))
+	for g := range groups {
+		out[g] = make([]*harness.Result, len(groups[g].diverge))
+		for p := range groups[g].diverge {
+			pts = append(pts, point{g, p})
+		}
+	}
+	forEachPoint(o, len(pts), func(i int) {
+		g, p := pts[i].g, pts[i].p
+		grp := groups[g]
+		s := warmed[g]
+		if len(grp.diverge) > 1 {
+			// Concurrent forks of one warmed prefix only read it, so points
+			// of a group need no ordering among themselves.
+			s = s.Fork()
+		}
+		if d := grp.diverge[p]; d != nil {
+			d(s)
+		}
+		s.BeginMeasure()
+		s.Measure(grp.meas)
+		out[g][p] = s.EndMeasure()
 	})
 	return out
 }

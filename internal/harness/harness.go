@@ -380,13 +380,42 @@ func (s *Scenario) Start(m ManagerSpec) {
 }
 
 // Run executes warm-up then a measurement window, returning the collected
-// result. It may be called repeatedly for multi-phase experiments.
+// result. It may be called repeatedly for multi-phase experiments. It is
+// exactly Warm + BeginMeasure + Measure + EndMeasure; callers that fork
+// mid-run (the prefix-sharing sweep runners, the service's snapshot cache)
+// drive the phases directly, and splitting a phase across multiple Measure
+// calls is equivalent to one longer call.
 func (s *Scenario) Run(warmupSec, measureSec float64) *Result {
+	s.Warm(warmupSec)
+	s.BeginMeasure()
+	s.Measure(measureSec)
+	return s.EndMeasure()
+}
+
+// Warm advances simulated time outside any measurement window.
+func (s *Scenario) Warm(sec float64) {
 	if !s.started {
 		panic("harness: Run before Start")
 	}
-	s.Engine.Run(warmupSec)
+	s.Engine.Run(sec)
+}
+
+// BeginMeasure opens a measurement window at the current instant.
+func (s *Scenario) BeginMeasure() {
+	if !s.started {
+		panic("harness: Run before Start")
+	}
 	s.Monitor.BeginWindow()
-	s.Engine.Run(measureSec)
+}
+
+// Measure advances simulated time inside the open window. Successive calls
+// accumulate into the same window, so a run can be extended from a forked
+// snapshot: fork, Measure the remainder, EndMeasure.
+func (s *Scenario) Measure(sec float64) {
+	s.Engine.Run(sec)
+}
+
+// EndMeasure closes the window and returns its result.
+func (s *Scenario) EndMeasure() *Result {
 	return s.Monitor.EndWindow()
 }

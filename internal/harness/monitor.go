@@ -47,6 +47,49 @@ func NewMonitor(s *Scenario) *Monitor {
 	return &Monitor{s: s}
 }
 
+// fork returns an independent deep copy of the sampler bound to the forked
+// scenario: the last sample set, any open measurement window's accumulators,
+// and the progress marks all carry over, so a window opened before the fork
+// closes on the fork with exactly the metrics an uninterrupted run reports.
+func (m *Monitor) fork(s *Scenario) *Monitor {
+	n := &Monitor{
+		s:          s,
+		last:       append([]pcm.Sample(nil), m.last...),
+		lastMemRd:  m.lastMemRd,
+		lastMemWr:  m.lastMemWr,
+		collecting: m.collecting,
+		secs:       m.secs,
+		memRdSum:   m.memRdSum,
+		memWrSum:   m.memWrSum,
+	}
+	if m.acc != nil {
+		n.acc = make(map[pcm.WorkloadID]*wlAccum, len(m.acc))
+		for id, a := range m.acc {
+			ac := *a
+			n.acc[id] = &ac
+		}
+	}
+	if m.portInSum != nil {
+		n.portInSum = make(map[string]float64, len(m.portInSum))
+		for k, v := range m.portInSum {
+			n.portInSum[k] = v
+		}
+	}
+	if m.portOutSum != nil {
+		n.portOutSum = make(map[string]float64, len(m.portOutSum))
+		for k, v := range m.portOutSum {
+			n.portOutSum[k] = v
+		}
+	}
+	if m.progressMark != nil {
+		n.progressMark = make(map[pcm.WorkloadID]int64, len(m.progressMark))
+		for id, v := range m.progressMark {
+			n.progressMark[id] = v
+		}
+	}
+	return n
+}
+
 // Last returns the most recent per-second samples.
 func (m *Monitor) Last() []pcm.Sample { return m.last }
 

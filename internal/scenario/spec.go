@@ -215,6 +215,27 @@ func (sp *Spec) Hash() (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
+// PrefixHash returns the content address of the spec's run prefix: the
+// canonical spec with the measurement window zeroed. Two specs share a
+// prefix hash exactly when their simulations are identical up to (and
+// through) any point of the measurement window — same construction, same
+// manager, same warm-up — differing only in how long the window runs. That
+// is the key the service's snapshot cache uses to continue longer runs from
+// shorter ones instead of restarting (see internal/service).
+func (sp *Spec) PrefixHash() (string, error) {
+	c := sp.Clone()
+	if err := c.Normalize(); err != nil {
+		return "", err
+	}
+	c.MeasureSec = 0
+	data, err := json.Marshal(c)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
 // Clone deep-copies the spec, so callers can derive grid points or
 // normalize for hashing without mutating the original.
 func (sp *Spec) Clone() *Spec {

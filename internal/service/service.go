@@ -11,9 +11,11 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
+	"a4sim/internal/harness"
 	"a4sim/internal/scenario"
 )
 
@@ -27,6 +29,14 @@ type Config struct {
 	// fast with ErrBusy instead of growing memory without bound. 0 means
 	// 4096 (one full-size sweep).
 	MaxQueue int
+	// SnapshotEntries caps the warm-state snapshot cache: full deep copies
+	// of executed scenarios at their last measured second, keyed by the
+	// spec's prefix hash, from which longer measurement windows fork and
+	// continue instead of re-simulating the shared prefix. Each entry holds
+	// a complete simulation image (several MB at the Skylake geometry), so
+	// the cap is deliberately small. 0 means 8; negative disables snapshot
+	// reuse entirely.
+	SnapshotEntries int
 }
 
 // Stats are the service's monotonic counters, served by /stats.
@@ -39,6 +49,12 @@ type Stats struct {
 	Entries    int    `json:"entries"`    // current cache entries
 	Workers    int    `json:"workers"`    // pool degree
 	Queued     int    `json:"queued"`     // jobs waiting for a worker
+
+	// SnapshotForks counts executions that continued from a cached warm
+	// snapshot instead of re-simulating their prefix; SnapshotEntries is
+	// the snapshot cache's current size.
+	SnapshotForks   uint64 `json:"snapshot_forks"`
+	SnapshotEntries int    `json:"snapshot_entries"`
 }
 
 // Result is one served submission.
@@ -75,6 +91,11 @@ type Service struct {
 	cache    *lruCache
 	stats    Stats
 	closed   bool
+
+	// snaps caches warm simulation state for prefix-shared continuation;
+	// nil when disabled. It has its own lock: snapshot forking is heavy and
+	// must not serialize the submission path.
+	snaps *snapStore
 }
 
 // New starts a service with cfg's pool and cache.
@@ -96,6 +117,13 @@ func New(cfg Config) *Service {
 		maxQueue: maxQueue,
 		inflight: make(map[string]*flight),
 		cache:    newLRUCache(entries),
+	}
+	if cfg.SnapshotEntries >= 0 {
+		se := cfg.SnapshotEntries
+		if se == 0 {
+			se = 8
+		}
+		s.snaps = newSnapStore(se)
 	}
 	s.work = sync.NewCond(&s.mu)
 	s.stats.Workers = w
@@ -222,10 +250,15 @@ func (s *Service) Submit(sp *scenario.Spec) (Result, error) {
 		s.stats.Queued--
 		s.stats.Executions++
 		s.mu.Unlock()
-		rep, err := runSpec(run)
-		var data []byte
+		rep, err := s.runSpec(run)
+		var data, spec []byte
 		if err == nil {
 			data, err = rep.Encode()
+		}
+		if err == nil {
+			// The canonical spec is indexed by hash so /extend can re-derive
+			// longer windows of a run from its content address alone.
+			spec, err = run.Canonical()
 		}
 		s.mu.Lock()
 		delete(s.inflight, hash)
@@ -234,7 +267,7 @@ func (s *Service) Submit(sp *scenario.Spec) (Result, error) {
 			f.err = &RunError{Hash: hash, Err: err}
 		} else {
 			f.report = data
-			s.cache.put(hash, data)
+			s.cache.put(hash, data, spec)
 		}
 		s.mu.Unlock()
 	}
@@ -256,13 +289,163 @@ func (s *Service) Submit(sp *scenario.Spec) (Result, error) {
 // runSpec executes a spec, converting a panic anywhere in the simulator
 // into an error so one bad submission cannot take down the daemon's worker
 // pool.
-func runSpec(sp *scenario.Spec) (rep *scenario.Report, err error) {
+func (s *Service) runSpec(sp *scenario.Spec) (rep *scenario.Report, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			rep, err = nil, fmt.Errorf("panic during run: %v", r)
 		}
 	}()
-	return sp.Run()
+	return s.execute(sp)
+}
+
+// snapshotEligible gates snapshot reuse to whole-second windows: splitting a
+// run at a non-integer boundary would round the engine's epoch counts
+// differently from an uninterrupted run, breaking byte-identity.
+func snapshotEligible(sp *scenario.Spec) bool {
+	return sp.WarmupSec == math.Trunc(sp.WarmupSec) &&
+		sp.MeasureSec == math.Trunc(sp.MeasureSec) && sp.MeasureSec >= 1
+}
+
+// execute runs one spec, continuing from a cached warm snapshot when one
+// shares the spec's prefix (identical scenario up to some point of the
+// measurement window). Because forked execution is byte-identical to fresh
+// execution (the harness snapshot/fork contract, pinned by this package's
+// tests), the serving path is free to choose either and the reports cannot
+// differ. Fresh runs deposit their end-of-window state back into the
+// snapshot cache so later, longer windows extend instead of restarting.
+func (s *Service) execute(sp *scenario.Spec) (*scenario.Report, error) {
+	run := sp.Clone()
+	if err := run.Normalize(); err != nil {
+		return nil, err
+	}
+	hash, err := run.Hash()
+	if err != nil {
+		return nil, err
+	}
+	if s.snaps == nil || !snapshotEligible(run) {
+		sc, err := run.Start()
+		if err != nil {
+			return nil, err
+		}
+		return scenario.FromResult(run, hash, sc.Run(run.WarmupSec, run.MeasureSec)), nil
+	}
+	prefix, err := run.PrefixHash()
+	if err != nil {
+		return nil, err
+	}
+	if snap, measured, ok := s.snaps.get(prefix); ok && measured <= run.MeasureSec {
+		s.mu.Lock()
+		s.stats.SnapshotForks++
+		s.mu.Unlock()
+		sc := snap.Fork()
+		sc.Measure(run.MeasureSec - measured)
+		s.snaps.put(prefix, sc.Snapshot(), run.MeasureSec)
+		return scenario.FromResult(run, hash, sc.EndMeasure()), nil
+	}
+	sc, err := run.Start()
+	if err != nil {
+		return nil, err
+	}
+	sc.Warm(run.WarmupSec)
+	sc.BeginMeasure()
+	sc.Measure(run.MeasureSec)
+	// Snapshot before closing the window: the stored state must be
+	// continuable, and EndMeasure only reads the accumulators.
+	s.snaps.put(prefix, sc.Snapshot(), run.MeasureSec)
+	return scenario.FromResult(run, hash, sc.EndMeasure()), nil
+}
+
+// ErrUnknownHash is returned by Extend for a content address with no
+// indexed spec (never run here, or evicted).
+var ErrUnknownHash = errors.New("service: unknown run hash")
+
+// Extend re-runs a previously served spec — addressed by its content hash —
+// with a longer (or any different) measurement window, without the client
+// resending the spec. The continuation goes through the normal submission
+// path, so it dedups, caches, and — when the warm snapshot of the original
+// run is still resident — forks and simulates only the additional seconds.
+// The result is byte-identical to running the extended spec from scratch.
+func (s *Service) Extend(hash string, measureSec float64) (Result, error) {
+	if measureSec <= 0 {
+		return Result{}, fmt.Errorf("service: extend needs a positive measure_sec, got %g", measureSec)
+	}
+	if measureSec > scenario.MaxWindowSec {
+		return Result{}, fmt.Errorf("service: extend measure_sec %g exceeds %d", measureSec, scenario.MaxWindowSec)
+	}
+	s.mu.Lock()
+	spec, ok := s.cache.specOf(hash)
+	s.mu.Unlock()
+	if !ok {
+		return Result{}, ErrUnknownHash
+	}
+	sp, err := scenario.Parse(spec)
+	if err != nil {
+		return Result{}, fmt.Errorf("service: corrupt indexed spec for %.12s: %w", hash, err)
+	}
+	sp.MeasureSec = measureSec
+	return s.Submit(sp)
+}
+
+// snapStore is a bounded LRU of warm simulation snapshots keyed by prefix
+// hash. One entry per prefix: put keeps the longest-measured state, since
+// any request at or past it can continue from there while earlier states
+// would re-simulate more.
+type snapStore struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type snapEntry struct {
+	key      string
+	snap     *harness.Snapshot
+	measured float64
+}
+
+func newSnapStore(capEntries int) *snapStore {
+	return &snapStore{cap: capEntries, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the stored snapshot and its measured seconds. The snapshot is
+// immutable; callers fork it outside the store's lock.
+func (c *snapStore) get(key string) (*harness.Snapshot, float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, 0, false
+	}
+	c.ll.MoveToFront(el)
+	e := el.Value.(*snapEntry)
+	return e.snap, e.measured, true
+}
+
+// put stores a snapshot unless a longer-measured one for the same prefix is
+// already resident (concurrent shorter runs must not clobber it).
+func (c *snapStore) put(key string, snap *harness.Snapshot, measured float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*snapEntry)
+		if measured >= e.measured {
+			e.snap, e.measured = snap, measured
+		}
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&snapEntry{key: key, snap: snap, measured: measured})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*snapEntry).key)
+	}
+}
+
+func (c *snapStore) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
 }
 
 // Lookup serves a cached report by hash without triggering execution. It
@@ -277,14 +460,18 @@ func (s *Service) Lookup(hash string) ([]byte, bool) {
 // Stats snapshots the counters.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st := s.stats
 	st.Entries = s.cache.len()
+	s.mu.Unlock()
+	if s.snaps != nil {
+		st.SnapshotEntries = s.snaps.len()
+	}
 	return st
 }
 
 // lruCache is a plain entry-capped LRU: map + recency list, guarded by the
-// service mutex.
+// service mutex. Each entry carries the report bytes plus the canonical
+// spec that produced them, so /extend can re-derive runs by hash.
 type lruCache struct {
 	cap   int
 	ll    *list.List // front = most recent
@@ -294,6 +481,7 @@ type lruCache struct {
 type lruEntry struct {
 	key  string
 	data []byte
+	spec []byte // canonical spec encoding, for Extend
 }
 
 func newLRUCache(capEntries int) *lruCache {
@@ -309,13 +497,24 @@ func (c *lruCache) get(key string) ([]byte, bool) {
 	return el.Value.(*lruEntry).data, true
 }
 
-func (c *lruCache) put(key string, data []byte) {
+// specOf returns the canonical spec indexed under key without touching
+// recency (an Extend should not pin its source entry hot).
+func (c *lruCache) specOf(key string) ([]byte, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*lruEntry).spec, true
+}
+
+func (c *lruCache) put(key string, data, spec []byte) {
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*lruEntry).data = data
+		e := el.Value.(*lruEntry)
+		e.data, e.spec = data, spec
 		return
 	}
-	c.items[key] = c.ll.PushFront(&lruEntry{key: key, data: data})
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, data: data, spec: spec})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)

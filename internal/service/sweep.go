@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"a4sim/internal/scenario"
@@ -184,20 +185,38 @@ func (s *Service) Sweep(req *SweepRequest) ([]SweepPoint, error) {
 			return nil, fmt.Errorf("service: sweep point %d: %w", i, err)
 		}
 	}
+	// Rows sharing a run prefix (identical scenario and warm-up, divergent
+	// measurement window — e.g. a measure_sec axis) are chained: shortest
+	// first, sequentially, so each later row forks the warm snapshot its
+	// predecessor deposited instead of re-simulating the prefix. Rows with
+	// distinct prefixes stay fully concurrent, and when snapshot reuse is
+	// off the chaining would serialize rows for nothing, so every row runs
+	// on its own goroutine. Results are assembled by grid index, so the
+	// grouping never reorders the response.
+	var groups [][]int
+	if s.snaps == nil {
+		for i := range specs {
+			groups = append(groups, []int{i})
+		}
+	} else {
+		groups = groupByPrefix(specs)
+	}
 	points := make([]SweepPoint, len(specs))
 	errs := make([]error, len(specs))
 	var wg sync.WaitGroup
-	for i := range specs {
+	for _, idxs := range groups {
 		wg.Add(1)
-		go func(i int) {
+		go func(idxs []int) {
 			defer wg.Done()
-			res, err := s.Submit(specs[i])
-			if err != nil {
-				errs[i] = err
-				return
+			for _, i := range idxs {
+				res, err := s.Submit(specs[i])
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				points[i] = SweepPoint{Grid: grids[i], Hash: res.Hash, Cached: res.Cached, Report: res.Report}
 			}
-			points[i] = SweepPoint{Grid: grids[i], Hash: res.Hash, Cached: res.Cached, Report: res.Report}
-		}(i)
+		}(idxs)
 	}
 	wg.Wait()
 	for i, err := range errs {
@@ -206,4 +225,53 @@ func (s *Service) Sweep(req *SweepRequest) ([]SweepPoint, error) {
 		}
 	}
 	return points, nil
+}
+
+// groupByPrefix partitions grid indices by prefix hash, each group sorted by
+// ascending measurement window (stably, so equal-window duplicates keep grid
+// order and coalesce through the result cache). Rows that cannot use a
+// snapshot anyway — fractional windows, unhashable specs — get singleton
+// groups so they keep full row-level parallelism; Submit surfaces any real
+// error.
+func groupByPrefix(specs []*scenario.Spec) [][]int {
+	order := make([]string, 0, len(specs))
+	byPrefix := make(map[string][]int, len(specs))
+	for i, sp := range specs {
+		key, err := sp.PrefixHash()
+		if err != nil || !sweepRowEligible(sp) {
+			key = fmt.Sprintf("!solo-%d", i)
+		}
+		if _, ok := byPrefix[key]; !ok {
+			order = append(order, key)
+		}
+		byPrefix[key] = append(byPrefix[key], i)
+	}
+	groups := make([][]int, 0, len(order))
+	for _, key := range order {
+		idxs := byPrefix[key]
+		sort.SliceStable(idxs, func(a, b int) bool {
+			return effMeasure(specs[idxs[a]]) < effMeasure(specs[idxs[b]])
+		})
+		groups = append(groups, idxs)
+	}
+	return groups
+}
+
+// effMeasure resolves the zero-means-default measurement window.
+func effMeasure(sp *scenario.Spec) float64 {
+	if sp.MeasureSec == 0 {
+		return scenario.DefaultMeasureSec
+	}
+	return sp.MeasureSec
+}
+
+// sweepRowEligible mirrors snapshotEligible for a not-yet-normalized grid
+// row: zero windows mean the (integer) defaults.
+func sweepRowEligible(sp *scenario.Spec) bool {
+	warm := sp.WarmupSec
+	if warm == 0 {
+		warm = scenario.DefaultWarmupSec
+	}
+	meas := effMeasure(sp)
+	return warm == math.Trunc(warm) && meas == math.Trunc(meas) && meas >= 1
 }

@@ -92,8 +92,41 @@ func (e *Engine) AddObserver(o Observer) {
 	e.observers = append(e.observers, o)
 }
 
-// Stop requests that Run return at the end of the current epoch.
+// Stop requests that Run return at the end of the current epoch. The stop is
+// consumed by the Run in progress (or, if none is running, by the next one):
+// RunEpochs clears it on entry, so a stopped engine can be driven again.
 func (e *Engine) Stop() { e.stopped = true }
+
+// Actors returns the registered actors in registration order (a copy; the
+// engine's own list is not exposed for mutation).
+func (e *Engine) Actors() []Actor {
+	return append([]Actor(nil), e.actors...)
+}
+
+// Observers returns the registered observers in registration order (a copy).
+func (e *Engine) Observers() []Observer {
+	return append([]Observer(nil), e.observers...)
+}
+
+// Fork returns an engine that continues this one's simulated time, RNG
+// stream, and per-actor budget carries, but steps the given actor and
+// observer sets instead. The caller supplies deep copies of the original
+// actors in the same registration order, so the fork replays exactly the
+// schedule the original would have run — this is the engine's half of the
+// scenario snapshot/fork contract. Fork panics if the actor count differs
+// from the original's, since the budget carries are matched by position.
+func (e *Engine) Fork(actors []Actor, observers []Observer) *Engine {
+	if len(actors) != len(e.actors) {
+		panic(fmt.Sprintf("sim: Fork with %d actors, engine has %d", len(actors), len(e.actors)))
+	}
+	return &Engine{
+		now:       e.now,
+		actors:    append([]Actor(nil), actors...),
+		observers: append([]Observer(nil), observers...),
+		rng:       e.rng.Clone(),
+		carry:     append([]float64(nil), e.carry...),
+	}
+}
 
 // Run advances simulated time by the given number of simulated seconds.
 func (e *Engine) Run(seconds float64) {
@@ -101,8 +134,11 @@ func (e *Engine) Run(seconds float64) {
 	e.RunEpochs(epochs)
 }
 
-// RunEpochs advances simulated time by the given number of epochs.
+// RunEpochs advances simulated time by the given number of epochs. A pending
+// Stop from before the call is discarded: Stop ends the Run it interrupts,
+// it does not latch future Runs into no-ops.
 func (e *Engine) RunEpochs(epochs int) {
+	e.stopped = false
 	if cap(e.budgets) < len(e.actors) {
 		e.budgets = make([]int, len(e.actors))
 	}

@@ -19,6 +19,15 @@ benchtime="${BENCHTIME:-1x}"
 raw=$(go test -run '^$' -bench . -benchtime "$benchtime" .)
 echo "$raw"
 
+# Warm-state reuse: the ratio of the non-forking to the forking sweep
+# runner on the same warm-up-dominated sweep (BenchmarkSweepFork), i.e. the
+# wall-clock reduction the snapshot/fork contract buys.
+fork_speedup=$(echo "$raw" | awk '
+	/^BenchmarkSweepFork\/fresh/  {fresh = $3}
+	/^BenchmarkSweepFork\/forked/ {forked = $3}
+	END { if (fresh > 0 && forked > 0) printf "%.2f", fresh / forked; else printf "0" }')
+echo "sweep_fork_speedup=$fork_speedup"
+
 # Serving throughput: start a throwaway daemon, loadgen against it, parse
 # the service_cached_rps line. Guarded so a sandboxed environment without
 # loopback listening still records the compute benchmarks.
@@ -61,6 +70,7 @@ fi
 	echo "  \"benchtime\": \"$benchtime\","
 	echo "  \"go\": \"$(go version | awk '{print $3}')\","
 	echo "  \"service_cached_rps\": ${serve_rps},"
+	echo "  \"sweep_fork_speedup\": ${fork_speedup},"
 	echo '  "benchmarks": {'
 	echo "$raw" | awk '
 		/^Benchmark/ {
