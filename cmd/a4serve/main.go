@@ -5,7 +5,7 @@
 // one execution, so a fleet of clients asking popular questions is mostly
 // served without simulating anything.
 //
-// Endpoints:
+// Endpoints (identical in single-node and cluster mode):
 //
 //	POST /run          spec JSON -> {hash, cached, report}
 //	POST /extend       {hash, measure_sec} -> {hash, cached, report}: re-run
@@ -15,31 +15,43 @@
 //	POST /sweep        {spec, axes: [{param, values|managers}]} -> {points}
 //	GET  /result/<hash>  cached report by content address (404 if evicted)
 //	GET  /healthz      liveness
-//	GET  /stats        cache hit/miss, dedup, execution, snapshot counters
+//	GET  /stats        cache hit/miss, dedup, execution, snapshot counters;
+//	                   in cluster mode the counters are summed across
+//	                   backends with a per-backend breakdown attached
 //
 // Usage:
 //
 //	a4serve -addr :8044 -workers 8 -cache 512
+//	a4serve -addr :8050 -cluster "http://n1:8044,http://n2:8044"
 //	a4serve -loadgen -url http://localhost:8044 -n 200 -clients 8 -fresh 0.25
+//	a4serve -loadgen -url http://localhost:8050 -sweepn 24
 //
-// The -loadgen mode hammers a running daemon with a mix of repeated and
-// fresh specs and prints the served throughput (service_cached_rps), which
-// scripts/bench.sh records into the perf trajectory.
+// With -cluster the process serves as a coordinator: it executes nothing
+// itself, sharding requests over the listed backends by the spec's prefix
+// hash (internal/cluster) so same-prefix runs reuse one backend's warm
+// snapshots. Clients cannot tell the difference.
+//
+// The -loadgen mode hammers a running daemon (or coordinator) with a mix
+// of repeated and fresh specs and prints the served throughput
+// (service_cached_rps); -sweepn instead POSTs one seed-axis sweep and
+// prints cluster_sweep_rps (grid points per second of wall time). Both
+// metrics land in scripts/bench.sh's BENCH_<date>.json.
 package main
 
 import (
 	"bytes"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"a4sim/internal/cluster"
 	"a4sim/internal/scenario"
 	"a4sim/internal/service"
 )
@@ -52,23 +64,42 @@ func main() {
 	addr := flag.String("addr", ":8044", "listen address")
 	workers := flag.Int("workers", 0, "execution pool size (0 = GOMAXPROCS)")
 	cacheEntries := flag.Int("cache", 256, "result cache capacity in entries")
+	clusterURLs := flag.String("cluster", "", "comma-separated backend URLs: serve as cluster coordinator instead of executing locally")
 	loadgen := flag.Bool("loadgen", false, "run as load generator against -url instead of serving")
-	url := flag.String("url", "http://localhost:8044", "loadgen: target daemon")
+	url := flag.String("url", "http://localhost:8044", "loadgen: target daemon or coordinator")
 	n := flag.Int("n", 200, "loadgen: total requests")
 	clients := flag.Int("clients", 8, "loadgen: concurrent clients")
 	fresh := flag.Float64("fresh", 0.25, "loadgen: fraction of requests with never-seen specs")
+	sweepN := flag.Int("sweepn", 0, "loadgen: POST one seed-axis sweep of this many points and print cluster_sweep_rps instead of hammering /run")
 	flag.Parse()
 
 	if *loadgen {
+		if *sweepN > 0 {
+			os.Exit(runSweepgen(*url, *sweepN))
+		}
 		os.Exit(runLoadgen(*url, *n, *clients, *fresh))
 	}
 
-	svc := service.New(service.Config{Workers: *workers, CacheEntries: *cacheEntries})
-	fmt.Printf("a4serve: listening on %s (workers=%d cache=%d mixes=%v)\n",
-		*addr, svc.Stats().Workers, *cacheEntries, scenario.BuiltinMixes())
+	var mux *http.ServeMux
+	if *clusterURLs != "" {
+		backends := strings.Split(*clusterURLs, ",")
+		coord, err := cluster.New(cluster.Config{Backends: backends})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "a4serve:", err)
+			os.Exit(1)
+		}
+		mux = service.NewMux(coord, func() any { return coord.Stats() })
+		fmt.Printf("a4serve: coordinating %d backends on %s (%s)\n",
+			len(backends), *addr, strings.Join(backends, ", "))
+	} else {
+		svc := service.New(service.Config{Workers: *workers, CacheEntries: *cacheEntries})
+		mux = service.NewMux(svc, func() any { return svc.Stats() })
+		fmt.Printf("a4serve: listening on %s (workers=%d cache=%d mixes=%v)\n",
+			*addr, svc.Stats().Workers, *cacheEntries, scenario.BuiltinMixes())
+	}
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: newMux(svc),
+		Handler: mux,
 		// Bound idle and slow-loris connections. No WriteTimeout: /run and
 		// /sweep responses legitimately wait on multi-minute executions.
 		ReadHeaderTimeout: 10 * time.Second,
@@ -81,158 +112,12 @@ func main() {
 	}
 }
 
-func newMux(svc *service.Service) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /run", func(w http.ResponseWriter, r *http.Request) {
-		body, err := readBody(w, r)
-		if err != nil {
-			httpError(w, bodyErrStatus(err), err.Error())
-			return
-		}
-		sp, err := scenario.Parse(body)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		// No explicit Validate here: Submit's hashing validates the spec
-		// and statusForErr maps the rejection to 422.
-		res, err := svc.Submit(sp)
-		if err != nil {
-			httpError(w, statusForErr(err), err.Error())
-			return
-		}
-		writeJSON(w, map[string]any{
-			"hash":   res.Hash,
-			"cached": res.Cached,
-			"report": json.RawMessage(res.Report),
-		})
-	})
-	mux.HandleFunc("POST /extend", func(w http.ResponseWriter, r *http.Request) {
-		body, err := readBody(w, r)
-		if err != nil {
-			httpError(w, bodyErrStatus(err), err.Error())
-			return
-		}
-		var req struct {
-			Hash       string  `json:"hash"`
-			MeasureSec float64 `json:"measure_sec"`
-		}
-		if err := scenario.StrictDecode(body, &req); err != nil {
-			httpError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		res, err := svc.Extend(req.Hash, req.MeasureSec)
-		if err != nil {
-			if errors.Is(err, service.ErrUnknownHash) {
-				httpError(w, http.StatusNotFound, err.Error())
-				return
-			}
-			httpError(w, statusForErr(err), err.Error())
-			return
-		}
-		writeJSON(w, map[string]any{
-			"hash":   res.Hash,
-			"cached": res.Cached,
-			"report": json.RawMessage(res.Report),
-		})
-	})
-	mux.HandleFunc("POST /sweep", func(w http.ResponseWriter, r *http.Request) {
-		body, err := readBody(w, r)
-		if err != nil {
-			httpError(w, bodyErrStatus(err), err.Error())
-			return
-		}
-		var req service.SweepRequest
-		if err := scenario.StrictDecode(body, &req); err != nil {
-			httpError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		points, err := svc.Sweep(&req)
-		if err != nil {
-			httpError(w, statusForErr(err), err.Error())
-			return
-		}
-		out := make([]map[string]any, len(points))
-		for i, p := range points {
-			out[i] = map[string]any{
-				"grid":   p.Grid,
-				"hash":   p.Hash,
-				"cached": p.Cached,
-				"report": json.RawMessage(p.Report),
-			}
-		}
-		writeJSON(w, map[string]any{"points": out})
-	})
-	mux.HandleFunc("GET /result/{hash}", func(w http.ResponseWriter, r *http.Request) {
-		hash := r.PathValue("hash")
-		rep, ok := svc.Lookup(hash)
-		if !ok {
-			httpError(w, http.StatusNotFound, "no cached result for "+hash)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(rep)
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, svc.Stats())
-	})
-	return mux
-}
-
-// readBody reads a request body under the 1 MiB cap; MaxBytesReader
-// rejects oversized bodies outright rather than silently truncating into
-// different (but parseable) JSON.
-func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
-	return io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
-}
-
-// bodyErrStatus distinguishes an oversized body (413) from a transport or
-// encoding failure mid-read (400).
-func bodyErrStatus(err error) int {
-	var mbe *http.MaxBytesError
-	if errors.As(err, &mbe) {
-		return http.StatusRequestEntityTooLarge
-	}
-	return http.StatusBadRequest
-}
-
-// statusForErr classifies a service failure: execution errors are the
-// server's fault (500), a closing service is transient (503), a full
-// queue asks the client to back off (429), anything else is a spec or
-// grid rejected before running (422).
-func statusForErr(err error) int {
-	var re *service.RunError
-	switch {
-	case errors.As(err, &re):
-		return http.StatusInternalServerError
-	case errors.Is(err, service.ErrClosed):
-		return http.StatusServiceUnavailable
-	case errors.Is(err, service.ErrBusy):
-		return http.StatusTooManyRequests
-	default:
-		return http.StatusUnprocessableEntity
-	}
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.Encode(v)
-}
-
-func httpError(w http.ResponseWriter, status int, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": msg})
-}
-
 // runLoadgen drives a daemon with a mix of repeated and fresh specs. The
 // repeated ones model a fleet asking popular questions (cache-served); the
 // fresh ones vary the seed so they must execute. Prints overall and
-// cache-served throughput in a bench.sh-parseable form.
+// cache-served throughput in a bench.sh-parseable form. Against a cluster
+// coordinator the /stats deltas are fleet-wide sums, so the same arithmetic
+// holds unchanged.
 func runLoadgen(url string, n, clients int, freshFrac float64) int {
 	base, err := scenario.BuiltinMix("tiny")
 	if err != nil {
@@ -259,10 +144,13 @@ func runLoadgen(url string, n, clients int, freshFrac float64) int {
 		return int(float64(i+1)*freshFrac) > int(float64(i)*freshFrac)
 	}
 
-	statsBefore, err := fetchStats(url)
+	statsBefore, backends, err := fetchStats(url)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen: daemon not reachable:", err)
 		return 1
+	}
+	if backends > 0 {
+		fmt.Printf("loadgen: target is a coordinator over %d backends\n", backends)
 	}
 
 	// Salt fresh specs with a per-run nonce so repeated loadgen runs against
@@ -311,7 +199,7 @@ func runLoadgen(url string, n, clients int, freshFrac float64) int {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	statsAfter, err := fetchStats(url)
+	statsAfter, _, err := fetchStats(url)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen: stats after run:", err)
 		return 1
@@ -332,13 +220,73 @@ func runLoadgen(url string, n, clients int, freshFrac float64) int {
 	return 0
 }
 
-func fetchStats(url string) (service.Stats, error) {
-	var st service.Stats
+// runSweepgen POSTs one seed-axis sweep of n points and prints the
+// end-to-end grid throughput. Distinct seeds give every point a distinct
+// prefix, so against a coordinator the grid spreads across the whole fleet
+// — cluster_sweep_rps is the multi-backend scaling metric bench.sh records.
+func runSweepgen(url string, n int) int {
+	base, err := scenario.BuiltinMix("tiny")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepgen:", err)
+		return 1
+	}
+	seeds := make([]float64, n)
+	for i := range seeds {
+		seeds[i] = float64(i + 1)
+	}
+	req := map[string]any{
+		"spec": base,
+		"axes": []map[string]any{{"param": "seed", "values": seeds}},
+	}
+	body, _ := json.Marshal(req)
+
+	_, backends, err := fetchStats(url)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepgen: daemon not reachable:", err)
+		return 1
+	}
+	if backends > 0 {
+		fmt.Printf("sweepgen: target is a coordinator over %d backends\n", backends)
+	}
+
+	// Sweeps simulate for real, so allow far more than the loadgen timeout.
+	sweepClient := &http.Client{Timeout: 30 * time.Minute}
+	start := time.Now()
+	resp, err := sweepClient.Post(url+"/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepgen:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Points []json.RawMessage `json:"points"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "sweepgen: status %d (decode err: %v)\n", resp.StatusCode, err)
+		return 1
+	}
+	elapsed := time.Since(start)
+	if len(out.Points) != n {
+		fmt.Fprintf(os.Stderr, "sweepgen: got %d points, want %d\n", len(out.Points), n)
+		return 1
+	}
+	fmt.Printf("sweepgen: %d points in %.2fs\n", n, elapsed.Seconds())
+	fmt.Printf("cluster_sweep_rps=%.2f\n", float64(n)/elapsed.Seconds())
+	return 0
+}
+
+// fetchStats reads /stats, returning the (possibly fleet-summed) counters
+// and, when the target is a coordinator, its backend count.
+func fetchStats(url string) (service.Stats, int, error) {
+	var st struct {
+		service.Stats
+		Backends []json.RawMessage `json:"backends"`
+	}
 	resp, err := loadgenClient.Get(url + "/stats")
 	if err != nil {
-		return st, err
+		return service.Stats{}, 0, err
 	}
 	defer resp.Body.Close()
 	err = json.NewDecoder(resp.Body).Decode(&st)
-	return st, err
+	return st.Stats, len(st.Backends), err
 }

@@ -1,0 +1,608 @@
+// Package cluster shards scenario serving across a fleet of a4serve
+// backends. A Coordinator implements the same service.Runner surface as the
+// local worker pool, but routes each submission to one of N remote daemons
+// by rendezvous-hashing its routing key — the spec's prefix hash — so that
+// specs sharing a run prefix consistently land on the same backend and
+// reuse its warm-snapshot LRU, while distinct prefixes spread across the
+// fleet. Because execution is deterministic and content-addressed, any
+// backend produces byte-identical results for a given spec; routing is
+// therefore purely a performance policy, and losing a backend mid-sweep is
+// handled by re-sending its points to the next backend in rendezvous order
+// (idempotent: a re-executed point cannot differ).
+package cluster
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"a4sim/internal/scenario"
+	"a4sim/internal/service"
+)
+
+// Config wires a Coordinator to its backends.
+type Config struct {
+	// Backends are the base URLs of the a4serve daemons to shard over.
+	Backends []string
+	// QueueDepth bounds the coordinator's in-flight requests per backend;
+	// further points for that backend wait their turn instead of piling up
+	// as unbounded goroutine state. 0 means 32.
+	QueueDepth int
+	// ReviveAfter is how long a lost backend stays out of the routing order
+	// before the coordinator probes its /healthz again. 0 means 15s.
+	ReviveAfter time.Duration
+	// Client executes /run, /extend, and /result requests. Nil gets a
+	// client with a 15-minute timeout (runs may legitimately simulate for
+	// minutes; the backend's CheckBudget bounds them).
+	Client *http.Client
+	// RouteEntries caps the content-hash → routing-key index used to send
+	// /extend and /result/<hash> requests to the backend that owns the run.
+	// Unknown hashes fall back to probing backends in a deterministic
+	// order, so eviction costs latency, never correctness. 0 means 16384.
+	RouteEntries int
+}
+
+// Coordinator shards a service.Runner over remote backends.
+type Coordinator struct {
+	backends    []*backend
+	client      *http.Client // run/extend/result traffic
+	probe       *http.Client // healthz and stats traffic, short timeout
+	reviveAfter time.Duration
+
+	mu       sync.Mutex
+	routes   map[string]string // content hash -> routing key
+	routeCap int
+	reroutes uint64 // points re-sent after losing a backend
+	rejected uint64 // submissions refused before any routing
+}
+
+type backend struct {
+	url   string
+	slots chan struct{} // bounded per-backend queue: one token per in-flight request
+
+	mu        sync.Mutex
+	down      bool
+	downSince time.Time
+}
+
+// New validates the backend list and returns a coordinator. It does not
+// contact the backends: an unreachable one is discovered (and routed
+// around) on first use.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("cluster: no backends configured")
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 32
+	}
+	revive := cfg.ReviveAfter
+	if revive <= 0 {
+		revive = 15 * time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 15 * time.Minute}
+	}
+	routeCap := cfg.RouteEntries
+	if routeCap <= 0 {
+		routeCap = 16384
+	}
+	c := &Coordinator{
+		client:      client,
+		probe:       &http.Client{Timeout: 10 * time.Second},
+		reviveAfter: revive,
+		routes:      make(map[string]string),
+		routeCap:    routeCap,
+	}
+	seen := map[string]bool{}
+	for _, raw := range cfg.Backends {
+		u := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if u == "" {
+			return nil, fmt.Errorf("cluster: empty backend URL in %q", cfg.Backends)
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("cluster: duplicate backend %s", u)
+		}
+		seen[u] = true
+		c.backends = append(c.backends, &backend{url: u, slots: make(chan struct{}, depth)})
+	}
+	return c, nil
+}
+
+// Statically pin that a coordinator is interchangeable with the local pool.
+var _ service.Runner = (*Coordinator)(nil)
+
+// rendezvous orders the backends by descending highest-random-weight score
+// for key. The first entry is the key's home; the rest are its failover
+// order. The ordering is a pure function of (key, backend URLs), so every
+// coordinator over the same fleet routes identically, and removing one
+// backend only moves that backend's keys.
+func (c *Coordinator) rendezvous(key string) []*backend {
+	type scored struct {
+		b *backend
+		s uint64
+	}
+	order := make([]scored, len(c.backends))
+	for i, b := range c.backends {
+		// sha256 rather than a cheap multiplicative hash: backend URLs share
+		// long prefixes, and weakly-avalanched hashes visibly bias the
+		// highest-random-weight comparison across such near-identical seeds.
+		sum := sha256.Sum256([]byte(b.url + "\x00" + key))
+		order[i] = scored{b, binary.BigEndian.Uint64(sum[:8])}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].s != order[j].s {
+			return order[i].s > order[j].s
+		}
+		return order[i].b.url < order[j].b.url
+	})
+	out := make([]*backend, len(order))
+	for i, s := range order {
+		out[i] = s.b
+	}
+	return out
+}
+
+// routable reports whether b should receive traffic. A lost backend is
+// skipped until ReviveAfter has elapsed, after which one /healthz probe
+// decides whether it rejoins the routing order or waits another interval.
+func (c *Coordinator) routable(b *backend) bool {
+	b.mu.Lock()
+	if !b.down {
+		b.mu.Unlock()
+		return true
+	}
+	if time.Since(b.downSince) < c.reviveAfter {
+		b.mu.Unlock()
+		return false
+	}
+	b.mu.Unlock()
+	if c.healthy(b.url) {
+		b.setDown(false)
+		return true
+	}
+	b.setDown(true) // restart the revive clock
+	return false
+}
+
+func (c *Coordinator) healthy(url string) bool {
+	resp, err := c.probe.Get(url + "/healthz")
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+func (b *backend) setDown(down bool) {
+	b.mu.Lock()
+	b.down = down
+	if down {
+		b.downSince = time.Now()
+	}
+	b.mu.Unlock()
+}
+
+func (b *backend) isDown() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.down
+}
+
+// callClass is what a backend's answer means for routing.
+type callClass int
+
+const (
+	callOK       callClass = iota
+	callTerminal           // a deterministic rejection or run failure: rerouting cannot help
+	callLost               // transport failure or shutting-down backend: mark down, reroute
+	callBusy               // backend alive but queue-full: reroute without marking down
+)
+
+// wireResult mirrors the /run and /extend response body.
+type wireResult struct {
+	Hash   string          `json:"hash"`
+	Cached bool            `json:"cached"`
+	Report json.RawMessage `json:"report"`
+}
+
+// maxResponseBytes bounds a single backend response read; a /run report is
+// a few KB, so the cap only guards against a misbehaving peer.
+const maxResponseBytes = 16 << 20
+
+// call POSTs body to one backend and classifies the outcome. The bounded
+// per-backend queue is held for the duration of the request.
+func (c *Coordinator) call(b *backend, path string, body []byte) (service.Result, callClass, error) {
+	b.slots <- struct{}{}
+	defer func() { <-b.slots }()
+	resp, err := c.client.Post(b.url+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return service.Result{}, callLost, fmt.Errorf("cluster: backend %s: %w", b.url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes+1))
+	if err != nil {
+		return service.Result{}, callLost, fmt.Errorf("cluster: backend %s: reading response: %w", b.url, err)
+	}
+	if len(data) > maxResponseBytes {
+		// Deterministic runs reproduce the same oversized answer on every
+		// backend, so treating this as a lost node would down-mark the whole
+		// fleet one reroute at a time; it is the request's fault, not the
+		// backend's.
+		return service.Result{}, callTerminal, fmt.Errorf("cluster: backend %s: response exceeds %d bytes", b.url, maxResponseBytes)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusBadGateway, http.StatusGatewayTimeout:
+		return service.Result{}, callLost, translateStatus(b.url, resp.StatusCode, data)
+	case http.StatusServiceUnavailable:
+		// The backend is closing; its queued work still completes, but new
+		// points belong elsewhere.
+		return service.Result{}, callLost, translateStatus(b.url, resp.StatusCode, data)
+	case http.StatusTooManyRequests:
+		return service.Result{}, callBusy, translateStatus(b.url, resp.StatusCode, data)
+	default:
+		return service.Result{}, callTerminal, translateStatus(b.url, resp.StatusCode, data)
+	}
+	var wr wireResult
+	if err := json.Unmarshal(data, &wr); err != nil {
+		// A half-written 200 from a dying backend. Re-executing the point
+		// elsewhere is safe: runs are deterministic, so a retry cannot
+		// produce different bytes.
+		return service.Result{}, callLost, fmt.Errorf("cluster: backend %s: bad response: %w", b.url, err)
+	}
+	return service.Result{Hash: wr.Hash, Cached: wr.Cached, Report: wr.Report}, callOK, nil
+}
+
+// translateStatus converts a backend's non-2xx answer back into the service
+// error taxonomy, so the coordinator's own HTTP layer (service.StatusForErr)
+// round-trips the status to its client unchanged.
+func translateStatus(url string, status int, body []byte) error {
+	msg := errorMessage(body)
+	switch status {
+	case http.StatusNotFound:
+		return fmt.Errorf("cluster: backend %s: %s: %w", url, msg, service.ErrUnknownHash)
+	case http.StatusTooManyRequests:
+		return fmt.Errorf("cluster: backend %s: %s: %w", url, msg, service.ErrBusy)
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("cluster: backend %s: %s: %w", url, msg, service.ErrClosed)
+	case http.StatusInternalServerError:
+		return &service.RunError{Err: fmt.Errorf("backend %s: %s", url, msg)}
+	default:
+		return fmt.Errorf("cluster: backend %s: status %d: %s", url, status, msg)
+	}
+}
+
+// errorMessage extracts the {"error": ...} payload the a4serve API uses,
+// falling back to the raw (trimmed) body.
+func errorMessage(body []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	s := strings.TrimSpace(string(body))
+	if len(s) > 200 {
+		s = s[:200] + "…"
+	}
+	if s == "" {
+		s = "(empty response)"
+	}
+	return s
+}
+
+// submitKey routes body down key's rendezvous order until a backend serves
+// it. Lost backends are marked down (so later points skip them without
+// paying a timeout) and the point is re-sent to the next backend — the
+// retry-with-reroute that keeps a sweep complete when a node dies mid-run.
+func (c *Coordinator) submitKey(key, path string, body []byte) (service.Result, error) {
+	var lastErr, lastBusy error
+	sawLost := false
+	for _, b := range c.rendezvous(key) {
+		if !c.routable(b) {
+			continue
+		}
+		res, class, err := c.call(b, path, body)
+		switch class {
+		case callOK:
+			return res, nil
+		case callTerminal:
+			return service.Result{}, err
+		case callBusy:
+			lastBusy = err
+		case callLost:
+			b.setDown(true)
+			c.mu.Lock()
+			c.reroutes++
+			c.mu.Unlock()
+			sawLost = true
+			lastErr = err
+		}
+	}
+	if !sawLost && lastBusy != nil {
+		// Every reachable backend is saturated: surface the backpressure
+		// (429) rather than claiming the fleet is gone.
+		return service.Result{}, lastBusy
+	}
+	if lastErr == nil {
+		lastErr = errors.New("all backends marked down")
+	}
+	return service.Result{}, fmt.Errorf("cluster: %w: %v", service.ErrUnavailable, lastErr)
+}
+
+// Submit routes one spec to the backend owning its prefix hash. Using the
+// prefix (not the full content hash) as the routing key is what gives
+// same-prefix submissions — a /run, its /extend, the measure_sec rows of a
+// sweep — affinity to one backend's warm-snapshot LRU.
+func (c *Coordinator) Submit(sp *scenario.Spec) (service.Result, error) {
+	canon, _, prefix, err := sp.Digest()
+	if err == nil {
+		// Mirror the local serving policy before spending a network hop:
+		// a backend would reject the same spec with 422.
+		err = sp.CheckBudget()
+	}
+	if err != nil {
+		c.mu.Lock()
+		c.rejected++
+		c.mu.Unlock()
+		return service.Result{}, err
+	}
+	res, err := c.submitKey(prefix, "/run", canon)
+	if err == nil {
+		c.recordRoute(res.Hash, prefix)
+	}
+	return res, err
+}
+
+// Extend re-runs a served spec by content address with a new measurement
+// window. The coordinator remembers which routing key served each hash, so
+// the request lands on the backend holding the run's indexed spec and warm
+// snapshot; unknown or evicted hashes fall back to probing the fleet in
+// deterministic order, and only when every backend answers 404 does the
+// client see ErrUnknownHash.
+func (c *Coordinator) Extend(hash string, measureSec float64) (service.Result, error) {
+	body, err := json.Marshal(service.ExtendRequest{Hash: hash, MeasureSec: measureSec})
+	if err != nil {
+		return service.Result{}, err
+	}
+	key, known := c.routeOf(hash)
+	if !known {
+		key = hash
+	}
+	var lastErr error
+	sawUnknown, incomplete := false, false
+	for _, b := range c.rendezvous(key) {
+		if !c.routable(b) {
+			// A skipped backend might hold the run; its silence must not be
+			// read as a 404.
+			incomplete = true
+			continue
+		}
+		res, class, err := c.call(b, "/extend", body)
+		switch class {
+		case callOK:
+			// The extended run shares the original's prefix, so it lives
+			// under the same routing key.
+			c.recordRoute(res.Hash, key)
+			return res, nil
+		case callTerminal:
+			if errors.Is(err, service.ErrUnknownHash) {
+				// This backend never served the run (or evicted it); after a
+				// failover it may live on any other node.
+				sawUnknown = true
+				lastErr = err
+				continue
+			}
+			return service.Result{}, err
+		case callBusy, callLost:
+			if class == callLost {
+				b.setDown(true)
+				c.mu.Lock()
+				c.reroutes++
+				c.mu.Unlock()
+			}
+			incomplete = true
+			lastErr = err
+		}
+	}
+	// 404 is only honest when every backend answered it; if any was down,
+	// busy, or lost, the run may still exist there, so report the fleet as
+	// unavailable (retryable) rather than the hash as unknown.
+	if sawUnknown && !incomplete {
+		return service.Result{}, fmt.Errorf("cluster: no backend has run %.12s: %w", hash, service.ErrUnknownHash)
+	}
+	if lastErr == nil {
+		lastErr = errors.New("all backends marked down")
+	}
+	return service.Result{}, fmt.Errorf("cluster: %w: %v", service.ErrUnavailable, lastErr)
+}
+
+// Sweep expands the grid locally and shards its points over the fleet:
+// same-prefix rows form a group that runs sequentially (shortest
+// measurement first) against the backend owning that prefix, so later rows
+// fork the warm snapshot earlier rows deposited; distinct prefixes run
+// concurrently on their own backends. Results assemble by grid index, so
+// the response is byte-identical to a single-node (or serial) run of the
+// same request — backend count, like worker count, never reorders points.
+func (c *Coordinator) Sweep(req *service.SweepRequest) ([]service.SweepPoint, error) {
+	specs, grids, err := service.ExpandSweep(req)
+	if err != nil {
+		return nil, err
+	}
+	// Validate the whole grid before shipping any of it (mirroring the
+	// single-node Sweep): a bad corner fails the request without wasting
+	// backend work on the good corner.
+	for i, sp := range specs {
+		if err := sp.Validate(); err != nil {
+			return nil, fmt.Errorf("cluster: sweep point %d: %w", i, err)
+		}
+		if err := sp.CheckBudget(); err != nil {
+			return nil, fmt.Errorf("cluster: sweep point %d: %w", i, err)
+		}
+	}
+	groups := service.GroupSpecsByPrefix(specs)
+	points := make([]service.SweepPoint, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for _, idxs := range groups {
+		wg.Add(1)
+		go func(idxs []int) {
+			defer wg.Done()
+			for _, i := range idxs {
+				res, err := c.Submit(specs[i])
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				points[i] = service.SweepPoint{Grid: grids[i], Hash: res.Hash, Cached: res.Cached, Report: res.Report}
+			}
+		}(idxs)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: sweep point %d: %w", i, err)
+		}
+	}
+	return points, nil
+}
+
+// Lookup fetches a cached report by content address from the backend that
+// served it (via the route index), probing the rest of the fleet in
+// rendezvous order if needed.
+func (c *Coordinator) Lookup(hash string) ([]byte, bool) {
+	key, known := c.routeOf(hash)
+	if !known {
+		key = hash
+	}
+	for _, b := range c.rendezvous(key) {
+		if !c.routable(b) {
+			continue
+		}
+		resp, err := c.client.Get(b.url + "/result/" + hash)
+		if err != nil {
+			b.setDown(true)
+			continue
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+		resp.Body.Close()
+		if err == nil && resp.StatusCode == http.StatusOK {
+			return data, true
+		}
+	}
+	return nil, false
+}
+
+func (c *Coordinator) recordRoute(hash, key string) {
+	if hash == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.routes[hash]; !ok && len(c.routes) >= c.routeCap {
+		// Evict one arbitrary entry; a missed route only costs the probing
+		// fallback, never correctness.
+		for k := range c.routes {
+			delete(c.routes, k)
+			break
+		}
+	}
+	c.routes[hash] = key
+}
+
+func (c *Coordinator) routeOf(hash string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key, ok := c.routes[hash]
+	return key, ok
+}
+
+// BackendStats is one backend's view in the merged /stats payload.
+type BackendStats struct {
+	URL string `json:"url"`
+	// Down reports the router's judgment (a lost backend awaiting revival);
+	// Reachable reports whether this stats probe itself succeeded.
+	Down      bool          `json:"down"`
+	Reachable bool          `json:"reachable"`
+	Error     string        `json:"error,omitempty"`
+	Stats     service.Stats `json:"stats"`
+}
+
+// Stats is the merged cluster view: the embedded service.Stats counters are
+// summed across reachable backends (so a coordinator's /stats reads exactly
+// like a single node's, and tools such as the loadgen work unchanged),
+// while Backends preserves the per-backend breakdown.
+type Stats struct {
+	service.Stats
+	Reroutes uint64         `json:"reroutes"`
+	Rejected uint64         `json:"rejected"`
+	Backends []BackendStats `json:"backends"`
+}
+
+// Stats polls every backend's /stats concurrently and merges the counters.
+func (c *Coordinator) Stats() Stats {
+	out := Stats{Backends: make([]BackendStats, len(c.backends))}
+	var wg sync.WaitGroup
+	for i, b := range c.backends {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			bs := BackendStats{URL: b.url, Down: b.isDown()}
+			st, err := c.fetchStats(b.url)
+			if err != nil {
+				bs.Error = err.Error()
+			} else {
+				bs.Reachable = true
+				bs.Stats = st
+			}
+			out.Backends[i] = bs
+		}(i, b)
+	}
+	wg.Wait()
+	for _, bs := range out.Backends {
+		if !bs.Reachable {
+			continue
+		}
+		out.Hits += bs.Stats.Hits
+		out.Misses += bs.Stats.Misses
+		out.Dedups += bs.Stats.Dedups
+		out.Executions += bs.Stats.Executions
+		out.Errors += bs.Stats.Errors
+		out.Entries += bs.Stats.Entries
+		out.Workers += bs.Stats.Workers
+		out.Queued += bs.Stats.Queued
+		out.SnapshotForks += bs.Stats.SnapshotForks
+		out.SnapshotEntries += bs.Stats.SnapshotEntries
+	}
+	c.mu.Lock()
+	out.Reroutes = c.reroutes
+	out.Rejected = c.rejected
+	c.mu.Unlock()
+	return out
+}
+
+func (c *Coordinator) fetchStats(url string) (service.Stats, error) {
+	var st service.Stats
+	resp, err := c.probe.Get(url + "/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("stats: status %d", resp.StatusCode)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}

@@ -1,0 +1,363 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"a4sim/internal/figures"
+	"a4sim/internal/scenario"
+	"a4sim/internal/service"
+)
+
+// testSpec is a fast-running scenario (high rate scale, short windows).
+func testSpec(seed uint64) *scenario.Spec {
+	return &scenario.Spec{
+		Name:       "cluster-test",
+		Manager:    "a4-d",
+		Params:     scenario.ParamSpec{RateScale: 8192, Seed: seed},
+		WarmupSec:  1,
+		MeasureSec: 1,
+		Workloads: []scenario.WorkloadSpec{
+			{Kind: "dpdk", Name: "dpdk-t", Cores: []int{0, 1}, Priority: "hpw", Touch: true},
+			{Kind: "xmem", Name: "xmem", Cores: []int{2}, Priority: "lpw", WSKB: 1024, Pattern: "random"},
+		},
+	}
+}
+
+// newBackend starts one real a4serve backend (service + HTTP mux) and
+// returns its server.
+func newBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	svc := service.New(service.Config{Workers: 2, CacheEntries: 64})
+	t.Cleanup(svc.Close)
+	srv := httptest.NewServer(service.NewMux(svc, func() any { return svc.Stats() }))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// killableBackend aborts every request after the first `serve` have been
+// served, simulating a backend dying mid-sweep: in-flight and subsequent
+// requests fail at the transport level, exactly like a killed process.
+type killableBackend struct {
+	inner  http.Handler
+	serve  int64
+	served atomic.Int64
+	armed  atomic.Bool
+}
+
+func (k *killableBackend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if k.armed.Load() && k.served.Add(1) > k.serve {
+		panic(http.ErrAbortHandler)
+	}
+	k.inner.ServeHTTP(w, r)
+}
+
+func newCoordinator(t *testing.T, urls ...string) *Coordinator {
+	t.Helper()
+	c, err := New(Config{Backends: urls, ReviveAfter: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// sweepReq sweeps managers × measurement windows: two prefix groups whose
+// rows chain through backend snapshots, exercising both the concurrent and
+// the sequential routing paths.
+func sweepReq() *service.SweepRequest {
+	return &service.SweepRequest{
+		Spec: *testSpec(1),
+		Axes: []service.Axis{
+			{Param: "manager", Managers: []string{"default", "a4-d"}},
+			{Param: "measure_sec", Values: []float64{1, 2}},
+		},
+	}
+}
+
+// TestClusterSweepByteIdenticalToSerial is the acceptance pin: the same
+// sweep through a 3-backend coordinator and serially on one local node must
+// agree on every byte of every point.
+func TestClusterSweepByteIdenticalToSerial(t *testing.T) {
+	coord := newCoordinator(t, newBackend(t).URL, newBackend(t).URL, newBackend(t).URL)
+	got, err := coord.Sweep(sweepReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serial := service.New(service.Config{Workers: 1})
+	defer serial.Close()
+	want, err := serial.Sweep(sweepReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	comparePoints(t, got, want)
+
+	// The merged stats cover the whole fleet: executions sum to the grid
+	// size and the per-backend breakdown is preserved.
+	st := coord.Stats()
+	if st.Executions != uint64(len(want)) {
+		t.Errorf("merged executions = %d, want %d", st.Executions, len(want))
+	}
+	if len(st.Backends) != 3 {
+		t.Fatalf("got %d backend entries, want 3", len(st.Backends))
+	}
+	var sum uint64
+	for _, bs := range st.Backends {
+		if !bs.Reachable {
+			t.Errorf("backend %s unreachable in stats: %s", bs.URL, bs.Error)
+		}
+		sum += bs.Stats.Executions
+	}
+	if sum != st.Executions {
+		t.Errorf("per-backend executions sum %d != merged %d", sum, st.Executions)
+	}
+}
+
+func comparePoints(t *testing.T, got, want []service.SweepPoint) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d points, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Hash != want[i].Hash {
+			t.Errorf("point %d hash %s, want %s", i, got[i].Hash, want[i].Hash)
+		}
+		if got[i].Cached != want[i].Cached {
+			t.Errorf("point %d cached=%v, want %v", i, got[i].Cached, want[i].Cached)
+		}
+		if !bytes.Equal(got[i].Report, want[i].Report) {
+			t.Errorf("point %d report differs from serial run", i)
+		}
+		if fmt.Sprint(got[i].Grid) != fmt.Sprint(want[i].Grid) {
+			t.Errorf("point %d grid %v, want %v", i, got[i].Grid, want[i].Grid)
+		}
+	}
+}
+
+// TestClusterReroutesLostBackendMidSweep kills the busiest backend after it
+// has served exactly one point and pins that every lost point is rerouted:
+// the sweep completes and stays byte-identical to a serial run.
+func TestClusterReroutesLostBackendMidSweep(t *testing.T) {
+	// Three backends, the victim wrapped so it can be killed mid-flight.
+	kills := make([]*killableBackend, 3)
+	urls := make([]string, 3)
+	for i := range kills {
+		svc := service.New(service.Config{Workers: 2, CacheEntries: 64})
+		t.Cleanup(svc.Close)
+		kills[i] = &killableBackend{
+			inner: service.NewMux(svc, func() any { return svc.Stats() }),
+			serve: 1,
+		}
+		srv := httptest.NewServer(kills[i])
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	coord := newCoordinator(t, urls...)
+
+	// Eight distinct-seed points: eight prefix groups. Pick the backend that
+	// homes the most of them as the victim, so it is guaranteed to receive
+	// at least one point after its single allowed request — httptest ports
+	// are random, so the assignment must be derived, not assumed.
+	specs := make([]*scenario.Spec, 8)
+	homes := map[string]int{}
+	for i := range specs {
+		specs[i] = testSpec(uint64(100 + i))
+		_, _, prefix, err := specs[i].Digest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		homes[coord.rendezvous(prefix)[0].url]++
+	}
+	victim, most := "", 0
+	for url, n := range homes {
+		if n > most {
+			victim, most = url, n
+		}
+	}
+	if most < 2 {
+		// 8 points over <=3 homes: pigeonhole guarantees a home with >=3.
+		t.Fatalf("no backend homes 2+ points: %v", homes)
+	}
+	for i, url := range urls {
+		if url == victim {
+			kills[i].armed.Store(true)
+		}
+	}
+
+	req := &service.SweepRequest{
+		Spec: *testSpec(0),
+		Axes: []service.Axis{{Param: "seed", Values: []float64{100, 101, 102, 103, 104, 105, 106, 107}}},
+	}
+	got, err := coord.Sweep(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serial := service.New(service.Config{Workers: 1})
+	defer serial.Close()
+	want, err := serial.Sweep(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comparePoints(t, got, want)
+
+	st := coord.Stats()
+	if st.Reroutes < uint64(most-1) {
+		t.Errorf("reroutes = %d, want >= %d (victim homed %d points, served 1)", st.Reroutes, most-1, most)
+	}
+	downSeen := false
+	for _, bs := range st.Backends {
+		if bs.URL == victim && bs.Down {
+			downSeen = true
+		}
+	}
+	if !downSeen {
+		t.Errorf("victim %s not marked down in stats: %+v", victim, st.Backends)
+	}
+}
+
+// TestClusterExtendRoutesToOwner pins prefix affinity end to end: /run then
+// Extend land on the same backend, whose warm snapshot serves the extension
+// as a fork, and the result matches a cold serial run of the longer spec.
+func TestClusterExtendRoutesToOwner(t *testing.T) {
+	coord := newCoordinator(t, newBackend(t).URL, newBackend(t).URL)
+
+	res, err := coord.Submit(testSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := coord.Extend(res.Hash, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Hash == res.Hash {
+		t.Error("extension must re-address under the longer window's hash")
+	}
+
+	long := testSpec(7)
+	long.MeasureSec = 3
+	rep, err := long.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ext.Report, fresh) {
+		t.Fatal("extended report differs from a cold serial run of the longer spec")
+	}
+
+	// The fork happened on the owning backend instead of a cold restart.
+	if st := coord.Stats(); st.SnapshotForks < 1 {
+		t.Errorf("merged snapshot_forks = %d, want >= 1", st.SnapshotForks)
+	}
+
+	// The extended run is addressable through the coordinator too.
+	if data, ok := coord.Lookup(ext.Hash); !ok || !bytes.Equal(data, ext.Report) {
+		t.Error("Lookup did not serve the extended report by content address")
+	}
+
+	if _, err := coord.Extend("feedfacefeedface", 2); !errors.Is(err, service.ErrUnknownHash) {
+		t.Errorf("unknown hash: got %v, want ErrUnknownHash", err)
+	}
+}
+
+// TestRunSpecsOverCluster pins the figures fan-out path: spec points run
+// through a coordinator come back in input order, byte-identical to running
+// each spec serially in-process.
+func TestRunSpecsOverCluster(t *testing.T) {
+	coord := newCoordinator(t, newBackend(t).URL, newBackend(t).URL)
+	specs := []*scenario.Spec{testSpec(11), testSpec(12), testSpec(11)}
+	specs[2].MeasureSec = 2 // shares spec[0]'s prefix: chained on one backend
+
+	got, err := figures.RunSpecs(figures.Options{Workers: 2}, coord, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(specs) {
+		t.Fatalf("got %d reports, want %d", len(got), len(specs))
+	}
+	for i, sp := range specs {
+		rep, err := sp.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := rep.Encode()
+		have, _ := got[i].Encode()
+		if !bytes.Equal(have, want) {
+			t.Errorf("spec %d: cluster report differs from serial run", i)
+		}
+	}
+}
+
+func TestClusterSweepRejectsBadGridBeforeExecuting(t *testing.T) {
+	coord := newCoordinator(t, newBackend(t).URL)
+	_, err := coord.Sweep(&service.SweepRequest{
+		Spec: *testSpec(1),
+		Axes: []service.Axis{{Param: "manager", Managers: []string{"default", "bogus"}}},
+	})
+	if err == nil {
+		t.Fatal("sweep with an invalid point accepted")
+	}
+	if st := coord.Stats(); st.Executions != 0 {
+		t.Errorf("invalid sweep executed points: %+v", st)
+	}
+}
+
+func TestClusterUnavailableWhenFleetIsGone(t *testing.T) {
+	srv := newBackend(t)
+	url := srv.URL
+	srv.Close()
+	coord := newCoordinator(t, url)
+	if _, err := coord.Submit(testSpec(1)); !errors.Is(err, service.ErrUnavailable) {
+		t.Fatalf("got %v, want ErrUnavailable", err)
+	}
+}
+
+func TestRendezvousDeterministicAndSpreads(t *testing.T) {
+	c, err := New(Config{Backends: []string{"http://a", "http://b", "http://c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	homes := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		o1, o2 := c.rendezvous(key), c.rendezvous(key)
+		for j := range o1 {
+			if o1[j] != o2[j] {
+				t.Fatalf("rendezvous order for %q not stable", key)
+			}
+		}
+		seen := map[*backend]bool{}
+		for _, b := range o1 {
+			seen[b] = true
+		}
+		if len(seen) != 3 {
+			t.Fatalf("rendezvous order for %q misses backends: %v", key, o1)
+		}
+		homes[o1[0].url] = true
+	}
+	if len(homes) != 3 {
+		t.Errorf("64 keys homed to only %d/3 backends", len(homes))
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty backend list accepted")
+	}
+	if _, err := New(Config{Backends: []string{"http://a", "http://a/"}}); err == nil {
+		t.Error("duplicate backends accepted")
+	}
+	if _, err := New(Config{Backends: []string{" "}}); err == nil {
+		t.Error("blank backend accepted")
+	}
+}

@@ -1,11 +1,14 @@
 package figures
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"a4sim/internal/harness"
+	"a4sim/internal/scenario"
+	"a4sim/internal/service"
 )
 
 // The sweep runner executes independent scenario points of a figure
@@ -94,6 +97,43 @@ func runPoints[T any](o Options, n int, point func(i int) T) []T {
 		out[i] = point(i)
 	})
 	return out
+}
+
+// RunSpecs executes spec-shaped sweep points through r — the local service
+// pool or a cluster.Coordinator — with the same deterministic assembly as
+// the in-process sweeps: reports come back in input order, byte-identical
+// to a serial run, regardless of worker or backend count. It is the
+// spec-level counterpart of runPrefixSweeps: specs sharing a run prefix
+// form a group submitted sequentially (shortest measurement window first),
+// so the executor warms the prefix once and each later point forks the
+// snapshot its predecessor deposited — locally via the service snapshot
+// LRU, remotely via the backend that prefix-hash routing pins the whole
+// group to. Distinct prefixes fan out concurrently on the sweep pool.
+func RunSpecs(o Options, r service.Runner, specs []*scenario.Spec) ([]*scenario.Report, error) {
+	reports := make([]*scenario.Report, len(specs))
+	errs := make([]error, len(specs))
+	groups := service.GroupSpecsByPrefix(specs)
+	forEachPoint(o, len(groups), func(g int) {
+		for _, i := range groups[g] {
+			res, err := r.Submit(specs[i])
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			rep, err := scenario.DecodeReport(res.Report)
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			reports[i] = rep
+		}
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("figures: spec point %d: %w", i, err)
+		}
+	}
+	return reports, nil
 }
 
 // prefixSweep is one group of sweep points sharing a scenario prefix. build

@@ -236,6 +236,31 @@ func (sp *Spec) PrefixHash() (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
+// Digest computes the spec's canonical encoding, content hash, and prefix
+// hash in one normalization pass. Submit-and-hash paths that need all three
+// — the cluster coordinator routes by prefix hash, indexes results by
+// content hash, and forwards the canonical bytes — would otherwise clone
+// and normalize the spec three times over.
+func (sp *Spec) Digest() (canonical []byte, hash, prefixHash string, err error) {
+	c := sp.Clone()
+	if err := c.Normalize(); err != nil {
+		return nil, "", "", err
+	}
+	canonical, err = json.Marshal(c)
+	if err != nil {
+		return nil, "", "", err
+	}
+	sum := sha256.Sum256(canonical)
+	hash = hex.EncodeToString(sum[:])
+	c.MeasureSec = 0
+	prefix, err := json.Marshal(c)
+	if err != nil {
+		return nil, "", "", err
+	}
+	psum := sha256.Sum256(prefix)
+	return canonical, hash, hex.EncodeToString(psum[:]), nil
+}
+
 // Clone deep-copies the spec, so callers can derive grid points or
 // normalize for hashing without mutating the original.
 func (sp *Spec) Clone() *Spec {

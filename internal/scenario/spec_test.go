@@ -439,3 +439,63 @@ func TestRunTinyDeterministic(t *testing.T) {
 		t.Error("report did not round-trip through Encode/DecodeReport")
 	}
 }
+
+// TestDigestMatchesIndividualHashes pins that the one-pass Digest — the
+// cluster coordinator's routing primitive — agrees exactly with the
+// separately computed Canonical, Hash, and PrefixHash.
+func TestDigestMatchesIndividualHashes(t *testing.T) {
+	sp, err := BuiltinMix("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, hash, prefix, err := sp.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCanon, err := sp.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(canon, wantCanon) {
+		t.Errorf("Digest canonical differs from Canonical():\n%s\nvs\n%s", canon, wantCanon)
+	}
+	wantHash, err := sp.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hash != wantHash {
+		t.Errorf("Digest hash %s != Hash() %s", hash, wantHash)
+	}
+	wantPrefix, err := sp.PrefixHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prefix != wantPrefix {
+		t.Errorf("Digest prefix %s != PrefixHash() %s", prefix, wantPrefix)
+	}
+
+	// Specs differing only in measure_sec share the prefix but not the hash.
+	longer := sp.Clone()
+	longer.MeasureSec = sp.MeasureSec + 3
+	_, lHash, lPrefix, err := longer.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lPrefix != prefix {
+		t.Error("measure_sec change moved the prefix hash")
+	}
+	if lHash == hash {
+		t.Error("measure_sec change did not move the content hash")
+	}
+
+	// Digest hashes a normalized clone; the receiver keeps its raw form.
+	if sp.MeasureSec != 1 {
+		t.Errorf("Digest mutated the spec: measure_sec = %g", sp.MeasureSec)
+	}
+
+	bad := sp.Clone()
+	bad.Manager = "bogus"
+	if _, _, _, err := bad.Digest(); err == nil {
+		t.Error("Digest accepted an invalid spec")
+	}
+}

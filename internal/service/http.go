@@ -1,0 +1,172 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"a4sim/internal/scenario"
+)
+
+// The HTTP surface of a4serve, factored over Runner so the same mux fronts
+// a local worker pool (single-node daemon) or a cluster coordinator — the
+// API a client sees is identical either way, which is what lets -cluster
+// slot in without touching clients.
+
+// NewMux serves r over the a4serve HTTP API. stats supplies the /stats
+// payload: a Stats for a local service, a merged cluster view for a
+// coordinator.
+func NewMux(r Runner, stats func() any) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /run", func(w http.ResponseWriter, req *http.Request) {
+		body, err := readBody(w, req)
+		if err != nil {
+			httpError(w, bodyErrStatus(err), err.Error())
+			return
+		}
+		sp, err := scenario.Parse(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		// No explicit Validate here: Submit's hashing validates the spec
+		// and StatusForErr maps the rejection to 422.
+		res, err := r.Submit(sp)
+		if err != nil {
+			httpError(w, StatusForErr(err), err.Error())
+			return
+		}
+		writeResult(w, res)
+	})
+	mux.HandleFunc("POST /extend", func(w http.ResponseWriter, req *http.Request) {
+		body, err := readBody(w, req)
+		if err != nil {
+			httpError(w, bodyErrStatus(err), err.Error())
+			return
+		}
+		var er ExtendRequest
+		if err := scenario.StrictDecode(body, &er); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		res, err := r.Extend(er.Hash, er.MeasureSec)
+		if err != nil {
+			httpError(w, StatusForErr(err), err.Error())
+			return
+		}
+		writeResult(w, res)
+	})
+	mux.HandleFunc("POST /sweep", func(w http.ResponseWriter, req *http.Request) {
+		body, err := readBody(w, req)
+		if err != nil {
+			httpError(w, bodyErrStatus(err), err.Error())
+			return
+		}
+		var sr SweepRequest
+		if err := scenario.StrictDecode(body, &sr); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		points, err := r.Sweep(&sr)
+		if err != nil {
+			httpError(w, StatusForErr(err), err.Error())
+			return
+		}
+		out := make([]map[string]any, len(points))
+		for i, p := range points {
+			out[i] = map[string]any{
+				"grid":   p.Grid,
+				"hash":   p.Hash,
+				"cached": p.Cached,
+				"report": json.RawMessage(p.Report),
+			}
+		}
+		writeJSON(w, map[string]any{"points": out})
+	})
+	mux.HandleFunc("GET /result/{hash}", func(w http.ResponseWriter, req *http.Request) {
+		hash := req.PathValue("hash")
+		rep, ok := r.Lookup(hash)
+		if !ok {
+			httpError(w, http.StatusNotFound, "no cached result for "+hash)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(rep)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, stats())
+	})
+	return mux
+}
+
+// ExtendRequest is the POST /extend body: re-run the spec served under Hash
+// with a different measurement window.
+type ExtendRequest struct {
+	Hash       string  `json:"hash"`
+	MeasureSec float64 `json:"measure_sec"`
+}
+
+func writeResult(w http.ResponseWriter, res Result) {
+	writeJSON(w, map[string]any{
+		"hash":   res.Hash,
+		"cached": res.Cached,
+		"report": json.RawMessage(res.Report),
+	})
+}
+
+// readBody reads a request body under the 1 MiB cap; MaxBytesReader
+// rejects oversized bodies outright rather than silently truncating into
+// different (but parseable) JSON.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+}
+
+// bodyErrStatus distinguishes an oversized body (413) from a transport or
+// encoding failure mid-read (400).
+func bodyErrStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// StatusForErr classifies a serving failure: an unknown content address is
+// 404, execution errors are the server's fault (500), a closing service is
+// transient (503), no reachable capacity likewise (503), a full queue asks
+// the client to back off (429), anything else is a spec or grid rejected
+// before running (422). The cluster coordinator translates backend HTTP
+// statuses back into this same error taxonomy, so forwarding round-trips
+// statuses exactly.
+func StatusForErr(err error) int {
+	var re *RunError
+	switch {
+	case errors.Is(err, ErrUnknownHash):
+		return http.StatusNotFound
+	case errors.As(err, &re):
+		return http.StatusInternalServerError
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrUnavailable):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrBusy):
+		return http.StatusTooManyRequests
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,48 @@
+package service
+
+import (
+	"errors"
+
+	"a4sim/internal/scenario"
+)
+
+// Runner is the execution surface a serving front-end needs: submit one
+// spec, extend a served run by content address, expand-and-run a sweep
+// grid, and retrieve cached reports. The local Service implements it with
+// its in-process worker pool; internal/cluster's Coordinator implements it
+// by sharding over remote a4serve backends. Because both sides honour the
+// determinism contract (same spec hash, same report bytes), callers —
+// cmd/a4serve's HTTP mux, figures.RunSpecs — cannot observe which one they
+// are talking to except through latency and stats.
+type Runner interface {
+	Submit(sp *scenario.Spec) (Result, error)
+	Extend(hash string, measureSec float64) (Result, error)
+	Sweep(req *SweepRequest) ([]SweepPoint, error)
+	Lookup(hash string) ([]byte, bool)
+}
+
+// ErrUnavailable means no execution capacity is reachable right now (every
+// cluster backend down, for instance). The HTTP layer maps it to 503: the
+// submission was not run and may be retried against a healthier fleet.
+var ErrUnavailable = errors.New("service: no execution capacity available")
+
+// Statically pin that the local pool satisfies the shared surface.
+var _ Runner = (*Service)(nil)
+
+// ExpandSweep expands req's cartesian grid into one spec and grid label per
+// point, in row-major axis order. It is the same expansion Sweep performs;
+// the cluster coordinator calls it directly so it can route individual
+// points to backends instead of forwarding the whole grid to one node.
+func ExpandSweep(req *SweepRequest) ([]*scenario.Spec, []map[string]any, error) {
+	return expand(req)
+}
+
+// GroupSpecsByPrefix partitions spec indices into groups sharing a run
+// prefix (see Spec.PrefixHash), each group sorted by ascending measurement
+// window. Running a group's points sequentially against one executor lets
+// each later point fork the warm snapshot its predecessor deposited; the
+// cluster coordinator uses the same grouping to keep a prefix's points on
+// one backend.
+func GroupSpecsByPrefix(specs []*scenario.Spec) [][]int {
+	return groupByPrefix(specs)
+}

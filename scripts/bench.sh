@@ -33,9 +33,10 @@ echo "sweep_fork_speedup=$fork_speedup"
 # loopback listening still records the compute benchmarks.
 serve_rps=0
 serve_pid=""
+cluster_pids=""
 serve_port="${A4SERVE_PORT:-8046}"
 serve_bin=$(mktemp -t a4serve.XXXXXX)
-trap 'if [ -n "$serve_pid" ]; then kill "$serve_pid" 2>/dev/null || true; fi; rm -f "$serve_bin"' EXIT
+trap 'for p in $serve_pid $cluster_pids; do kill "$p" 2>/dev/null || true; done; rm -f "$serve_bin"' EXIT
 if curl -sf "http://127.0.0.1:$serve_port/healthz" >/dev/null 2>&1; then
 	# A stale daemon owns the port; measuring against it would record an
 	# old build's (warm-cache) throughput. Record 0 instead.
@@ -63,6 +64,53 @@ elif go build -o "$serve_bin" ./cmd/a4serve; then
 	serve_pid=""
 fi
 
+# Multi-backend sweep throughput: two backend daemons behind one -cluster
+# coordinator, driven with the built-in sweep generator (distinct-seed grid
+# points spread across the fleet by prefix-hash routing). Records grid
+# points per second of wall time as cluster_sweep_rps.
+cluster_rps=0
+b1_port=$((serve_port + 1))
+b2_port=$((serve_port + 2))
+co_port=$((serve_port + 3))
+# All three ports must be free: a stale daemon on a backend port would make
+# the coordinator measure a mixed old/new fleet.
+ports_free=1
+for p in "$b1_port" "$b2_port" "$co_port"; do
+	if curl -sf "http://127.0.0.1:$p/healthz" >/dev/null 2>&1; then
+		echo "bench.sh: port $p already serving; recording cluster_sweep_rps=0" >&2
+		ports_free=0
+	fi
+done
+if [ -x "$serve_bin" ] && [ "$ports_free" = 1 ]; then
+	"$serve_bin" -addr "127.0.0.1:$b1_port" -workers 2 >/dev/null 2>&1 &
+	cluster_pids="$cluster_pids $!"
+	"$serve_bin" -addr "127.0.0.1:$b2_port" -workers 2 >/dev/null 2>&1 &
+	cluster_pids="$cluster_pids $!"
+	"$serve_bin" -addr "127.0.0.1:$co_port" \
+		-cluster "http://127.0.0.1:$b1_port,http://127.0.0.1:$b2_port" >/dev/null 2>&1 &
+	cluster_pids="$cluster_pids $!"
+	up=0
+	for _ in $(seq 1 50); do
+		if curl -sf "http://127.0.0.1:$b1_port/healthz" >/dev/null 2>&1 &&
+			curl -sf "http://127.0.0.1:$b2_port/healthz" >/dev/null 2>&1 &&
+			curl -sf "http://127.0.0.1:$co_port/healthz" >/dev/null 2>&1; then
+			up=1
+			break
+		fi
+		sleep 0.2
+	done
+	if [ "$up" = 1 ] && sweep_out=$("$serve_bin" -loadgen -url "http://127.0.0.1:$co_port" \
+		-sweepn "${SWEEPGEN_N:-12}"); then
+		echo "$sweep_out"
+		cluster_rps=$(echo "$sweep_out" | awk -F= '/^cluster_sweep_rps=/ {print $2}')
+		cluster_rps="${cluster_rps:-0}"
+	else
+		echo "bench.sh: cluster sweep failed; recording cluster_sweep_rps=0" >&2
+	fi
+	for p in $cluster_pids; do kill "$p" 2>/dev/null || true; done
+	cluster_pids=""
+fi
+
 # Convert `BenchmarkName  N  1234 ns/op  5.6 metric ...` lines to JSON.
 {
 	echo '{'
@@ -70,6 +118,7 @@ fi
 	echo "  \"benchtime\": \"$benchtime\","
 	echo "  \"go\": \"$(go version | awk '{print $3}')\","
 	echo "  \"service_cached_rps\": ${serve_rps},"
+	echo "  \"cluster_sweep_rps\": ${cluster_rps},"
 	echo "  \"sweep_fork_speedup\": ${fork_speedup},"
 	echo '  "benchmarks": {'
 	echo "$raw" | awk '

@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# bench_gate.sh — CI perf-regression gate. Compares the fresh CI benchmark
+# record (bench-ci.json, produced by scripts/bench.sh in the test job)
+# against the newest committed BENCH_*.json baseline and fails the job when
+#
+#   * scenario_second_ms (BenchmarkScenarioSecond ns/op) regresses by more
+#     than BENCH_GATE_FACTOR (default 1.25, i.e. >25% slower), or
+#   * sweep_fork_speedup (the warm-snapshot fork win) drops below
+#     BENCH_GATE_MIN_FORK (default 1.5×).
+#
+# Noise tolerance: a first-shot miss does not fail the gate outright — the
+# offending benchmark is re-measured up to two more times and the best of
+# the (up to) three observations is judged, so a single noisy CI sample
+# doesn't block a PR. A commit whose message contains [skip-bench-gate]
+# skips the gate entirely (for known, justified regressions — say so in the
+# commit body).
+#
+# Usage: scripts/bench_gate.sh [candidate.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cand="${1:-bench-ci.json}"
+factor="${BENCH_GATE_FACTOR:-1.25}"
+min_fork="${BENCH_GATE_MIN_FORK:-1.5}"
+
+# On pull_request CI checks out a synthetic merge commit, so also look at
+# its second parent (the PR head) for the marker.
+for ref in HEAD HEAD^2; do
+	if git log -1 --format=%B "$ref" 2>/dev/null | grep -qF '[skip-bench-gate]'; then
+		echo "bench_gate: [skip-bench-gate] in $ref commit message; skipping"
+		exit 0
+	fi
+done
+
+if ! command -v jq >/dev/null; then
+	echo "bench_gate: jq is required" >&2
+	exit 1
+fi
+
+if [ ! -f "$cand" ]; then
+	echo "bench_gate: candidate $cand not found (run scripts/bench.sh first)" >&2
+	exit 1
+fi
+
+base=$(ls BENCH_*.json 2>/dev/null | sort | tail -1 || true)
+if [ -z "$base" ]; then
+	echo "bench_gate: no committed BENCH_*.json baseline; nothing to gate"
+	exit 0
+fi
+echo "bench_gate: baseline $base, candidate $cand (factor=$factor, min fork=$min_fork)"
+
+base_ms=$(jq -r '.benchmarks.BenchmarkScenarioSecond."ns/op" / 1e6' "$base")
+cand_ms=$(jq -r '.benchmarks.BenchmarkScenarioSecond."ns/op" / 1e6' "$cand")
+cand_fork=$(jq -r '.sweep_fork_speedup' "$cand")
+if [ "$base_ms" = "null" ] || [ "$cand_ms" = "null" ] || [ "$cand_fork" = "null" ]; then
+	echo "bench_gate: metrics missing (base_ms=$base_ms cand_ms=$cand_ms fork=$cand_fork)" >&2
+	exit 1
+fi
+
+# best_of_3 <current> <awk-program> — re-measure up to twice with the given
+# go-test benchmark and awk extractor, echoing the minimum-cost / best value.
+rerun_scenario_ms() {
+	go test -run '^$' -bench '^BenchmarkScenarioSecond$' -benchtime 1x . 2>/dev/null |
+		awk '/^BenchmarkScenarioSecond/ {printf "%.3f", $3 / 1e6; exit}'
+}
+rerun_fork_speedup() {
+	go test -run '^$' -bench '^BenchmarkSweepFork' -benchtime 1x . 2>/dev/null | awk '
+		/^BenchmarkSweepFork\/fresh/  {fresh = $3}
+		/^BenchmarkSweepFork\/forked/ {forked = $3}
+		END { if (fresh > 0 && forked > 0) printf "%.2f", fresh / forked; else printf "0" }'
+}
+
+lt() { awk -v a="$1" -v b="$2" 'BEGIN {exit !(a < b)}'; }
+
+scenario_ok() { lt "$1" "$(awk -v b="$base_ms" -v f="$factor" 'BEGIN {printf "%.3f", b * f}')"; }
+
+best_ms="$cand_ms"
+if ! scenario_ok "$best_ms"; then
+	echo "bench_gate: scenario_second_ms $cand_ms vs baseline $base_ms exceeds ${factor}x; re-measuring (best of 3)"
+	for _ in 1 2; do
+		ms=$(rerun_scenario_ms)
+		echo "bench_gate: re-measured scenario_second_ms=$ms"
+		if [ -n "$ms" ] && lt "$ms" "$best_ms"; then best_ms="$ms"; fi
+		if scenario_ok "$best_ms"; then break; fi
+	done
+fi
+
+best_fork="$cand_fork"
+if lt "$best_fork" "$min_fork"; then
+	echo "bench_gate: sweep_fork_speedup $cand_fork below ${min_fork}x; re-measuring (best of 3)"
+	for _ in 1 2; do
+		fk=$(rerun_fork_speedup)
+		echo "bench_gate: re-measured sweep_fork_speedup=$fk"
+		if [ -n "$fk" ] && lt "$best_fork" "$fk"; then best_fork="$fk"; fi
+		if ! lt "$best_fork" "$min_fork"; then break; fi
+	done
+fi
+
+fail=0
+if ! scenario_ok "$best_ms"; then
+	echo "bench_gate: FAIL scenario_second_ms best-of-3 $best_ms regresses >${factor}x over baseline $base_ms ($base)" >&2
+	fail=1
+else
+	echo "bench_gate: ok scenario_second_ms $best_ms (baseline $base_ms, limit ${factor}x)"
+fi
+if lt "$best_fork" "$min_fork"; then
+	echo "bench_gate: FAIL sweep_fork_speedup best-of-3 $best_fork below ${min_fork}x" >&2
+	fail=1
+else
+	echo "bench_gate: ok sweep_fork_speedup $best_fork (floor ${min_fork}x)"
+fi
+if [ "$fail" -ne 0 ]; then
+	echo "bench_gate: perf regression — fix it, or commit with [skip-bench-gate] and a justification" >&2
+fi
+exit "$fail"
