@@ -216,6 +216,35 @@ func BenchmarkScenarioSecond(b *testing.B) {
 	}
 }
 
+// BenchmarkScenarioSecondSeries prices the telemetry plane on one
+// simulated second inside an open measurement window: "off" is the default
+// measurement path (per-second core columns, no export — what every run
+// pays since the series refactor), "on" adds every extended column group
+// (device queues, LLC occupancy, export). scripts/bench.sh records the
+// relative difference as series_overhead_pct; the acceptance bound is that
+// the plane's cost stays within noise (<3%).
+func BenchmarkScenarioSecondSeries(b *testing.B) {
+	run := func(b *testing.B, opts harness.SeriesOpts) {
+		p := harness.DefaultParams()
+		s := harness.NewScenario(p)
+		s.AddDPDK("dpdk-t", []int{0, 1, 2, 3}, true, workload.HPW)
+		s.AddFIO("fio", []int{4, 5, 6, 7}, 128<<10, 32, workload.LPW)
+		s.AddXMem("xmem", []int{8, 9}, 4<<20, workload.Sequential, false, workload.HPW)
+		s.Start(harness.Default())
+		s.Monitor.EnableSeries(opts)
+		s.Warm(1)
+		s.BeginMeasure()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Measure(1)
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, harness.SeriesOpts{}) })
+	b.Run("on", func(b *testing.B) {
+		run(b, harness.SeriesOpts{Devices: true, Occupancy: true, Controller: true, Export: true})
+	})
+}
+
 // --- sweep forking (snapshot/fork warm-state reuse) ---
 
 // sweepForkPoints is the benchmark sweep: divergent X-Mem mask positions

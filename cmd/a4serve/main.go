@@ -14,6 +14,10 @@
 //	                   instead of restarting (404 for unknown hashes)
 //	POST /sweep        {spec, axes: [{param, values|managers}]} -> {points}
 //	GET  /result/<hash>  cached report by content address (404 if evicted)
+//	GET  /series/<hash>  the run's per-second telemetry series (404 for
+//	                   unknown hashes and for runs whose spec carried no
+//	                   series block); /extend's result serves its own,
+//	                   longer series under the extended run's hash
 //	GET  /healthz      liveness
 //	GET  /stats        cache hit/miss, dedup, execution, snapshot counters;
 //	                   in cluster mode the counters are summed across

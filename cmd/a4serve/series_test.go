@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"a4sim/internal/scenario"
+	"a4sim/internal/stats"
+)
+
+// TestSeriesEndpoint drives the telemetry plane over HTTP: a series-enabled
+// /run exposes GET /series/<hash> with the same canonical bytes the report
+// embeds, a series-free run 404s, and /extend's result serves its own
+// (longer) series.
+func TestSeriesEndpoint(t *testing.T) {
+	srv := testServer(t)
+
+	sp, err := scenario.BuiltinMix("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Params.RateScale = 8192
+	sp.Series = &scenario.SeriesSpec{Metrics: []string{"core", "devices"}}
+	body, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(srv.URL+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /run status %d", resp.StatusCode)
+	}
+	var rr runResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(hash string) (int, []byte) {
+		r, err := http.Get(srv.URL + "/series/" + hash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.StatusCode, data
+	}
+
+	status, data := get(rr.Hash)
+	if status != http.StatusOK {
+		t.Fatalf("GET /series status %d: %s", status, data)
+	}
+	ser, err := stats.DecodeSeries(data)
+	if err != nil {
+		t.Fatalf("served series does not decode: %v", err)
+	}
+	if ser.Len() != 1 { // tiny mix measures 1 s
+		t.Errorf("series rows = %d, want 1", ser.Len())
+	}
+	if ser.Column("wl.dpdk-t.ipc") == nil || ser.Column("nic.ring_depth") == nil {
+		t.Errorf("selected column groups missing from %v", ser.Names())
+	}
+	if ser.Column("wl.dpdk-t.llc_lines") != nil {
+		t.Error("unselected occupancy group present")
+	}
+
+	// The embedded report series and the /series payload are the same bytes.
+	var rep scenario.Report
+	if err := json.Unmarshal(rr.Report, &rep); err != nil {
+		t.Fatal(err)
+	}
+	embedded, err := rep.Series.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(embedded, data) {
+		t.Error("GET /series bytes differ from the report's embedded series")
+	}
+
+	if status, _ := get("0000000000000000"); status != http.StatusNotFound {
+		t.Errorf("unknown hash status %d, want 404", status)
+	}
+
+	// A series-free run must not expose a series.
+	plainResp, err := http.Post(srv.URL+"/run", "application/json", bytes.NewReader(tinyBody(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plainResp.Body.Close()
+	var plain runResponse
+	if err := json.NewDecoder(plainResp.Body).Decode(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if status, _ := get(plain.Hash); status != http.StatusNotFound {
+		t.Errorf("series-free run: GET /series status %d, want 404", status)
+	}
+
+	// /extend returns a new hash whose series covers the longer window.
+	extBody, _ := json.Marshal(map[string]any{"hash": rr.Hash, "measure_sec": 3})
+	extResp, err := http.Post(srv.URL+"/extend", "application/json", bytes.NewReader(extBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer extResp.Body.Close()
+	if extResp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /extend status %d", extResp.StatusCode)
+	}
+	var ext runResponse
+	if err := json.NewDecoder(extResp.Body).Decode(&ext); err != nil {
+		t.Fatal(err)
+	}
+	status, data = get(ext.Hash)
+	if status != http.StatusOK {
+		t.Fatalf("GET /series for extended run: status %d", status)
+	}
+	extSer, err := stats.DecodeSeries(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extSer.Len() != 3 {
+		t.Errorf("extended series rows = %d, want 3", extSer.Len())
+	}
+}

@@ -483,6 +483,20 @@ func (c *Coordinator) Sweep(req *service.SweepRequest) ([]service.SweepPoint, er
 // served it (via the route index), probing the rest of the fleet in
 // rendezvous order if needed.
 func (c *Coordinator) Lookup(hash string) ([]byte, bool) {
+	return c.fetchByHash("/result/", hash)
+}
+
+// Series fetches a cached run's per-second telemetry by content address,
+// routed exactly like Lookup: the route index points at the backend that
+// executed the run (series live beside reports in its cache), and unknown
+// hashes fall back to probing the fleet in rendezvous order.
+func (c *Coordinator) Series(hash string) ([]byte, bool) {
+	return c.fetchByHash("/series/", hash)
+}
+
+// fetchByHash GETs path+hash from the backend the route index names for
+// hash, then from the rest of the fleet in deterministic rendezvous order.
+func (c *Coordinator) fetchByHash(path, hash string) ([]byte, bool) {
 	key, known := c.routeOf(hash)
 	if !known {
 		key = hash
@@ -491,7 +505,7 @@ func (c *Coordinator) Lookup(hash string) ([]byte, bool) {
 		if !c.routable(b) {
 			continue
 		}
-		resp, err := c.client.Get(b.url + "/result/" + hash)
+		resp, err := c.client.Get(b.url + path + hash)
 		if err != nil {
 			b.setDown(true)
 			continue

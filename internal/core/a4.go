@@ -387,6 +387,14 @@ func (c *Controller) State() string {
 	}
 }
 
+// StateCode returns the numeric search state (0 init, 1 searching,
+// 2 settled, 3 reverting) — the telemetry plane records it per second so
+// transient figures can align controller transitions with workload metrics.
+func (c *Controller) StateCode() int { return int(c.state) }
+
+// FeatureMask returns the configured feature bit set.
+func (c *Controller) FeatureMask() Feature { return c.cfg.Features }
+
 // IsAntagonist reports whether id is under pseudo LLC bypassing.
 func (c *Controller) IsAntagonist(id pcm.WorkloadID) bool {
 	_, ok := c.antagonists[id]

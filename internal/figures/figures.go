@@ -59,19 +59,19 @@ func (o Options) windows(defWarm, defMeas float64) (float64, float64) {
 type Report struct {
 	ID     string
 	Title  string
-	Series []*stats.Series
+	Series []*stats.Curve
 	Notes  []string
 }
 
 // AddSeries appends a named series and returns a pointer for Add calls.
-func (r *Report) AddSeries(name string) *stats.Series {
-	s := &stats.Series{Name: name}
+func (r *Report) AddSeries(name string) *stats.Curve {
+	s := &stats.Curve{Name: name}
 	r.Series = append(r.Series, s)
 	return s
 }
 
 // Get returns the series with the given name, or nil.
-func (r *Report) Get(name string) *stats.Series {
+func (r *Report) Get(name string) *stats.Curve {
 	for _, s := range r.Series {
 		if s.Name == name {
 			return s
@@ -136,7 +136,7 @@ func (r *Report) String() string {
 	return b.String()
 }
 
-func findPoint(s *stats.Series, label string) (float64, bool) {
+func findPoint(s *stats.Curve, label string) (float64, bool) {
 	for _, p := range s.Points {
 		if p.Label == label {
 			return p.Y, true
@@ -195,11 +195,14 @@ var Registry = map[string]func(Options) *Report{
 	"15a": Fig15a,
 	"15b": Fig15b,
 	"15c": Fig15c,
+	// transient is not a paper figure: it is the telemetry plane's
+	// time-resolved demonstration (slowdown vs. time, fig_transient.go).
+	"transient": FigTransient,
 }
 
 // IDs returns the registry keys in presentation order.
 func IDs() []string {
-	return []string{"3a", "3b", "4", "5", "6", "7", "8a", "8b", "11", "12", "13a", "13b", "14", "15a", "15b", "15c"}
+	return []string{"3a", "3b", "4", "5", "6", "7", "8a", "8b", "11", "12", "13a", "13b", "14", "15a", "15b", "15c", "transient"}
 }
 
 // defaultXMemWS is the 4 MB working set of X-Mem 1/2 (Table 3).

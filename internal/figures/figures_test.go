@@ -92,7 +92,7 @@ func TestFig4QuickShape(t *testing.T) {
 }
 
 func TestSeriesOrderPreserved(t *testing.T) {
-	var s stats.Series
+	var s stats.Curve
 	for i := 0; i < 5; i++ {
 		s.Add("", float64(i), float64(i*i))
 	}

@@ -1,0 +1,35 @@
+package figures
+
+import (
+	"testing"
+)
+
+// TestTransientFigure pins the time-resolved figure's shape and its
+// determinism across worker counts: one slowdown point per measured
+// second for each manager, the controller-state timeline aligned with
+// them, and byte-identical reports at any pool degree (the series plane
+// rides the same determinism contract as the aggregates).
+func TestTransientFigure(t *testing.T) {
+	serial := FigTransient(Options{Quick: true, Workers: 1})
+	parallel := FigTransient(Options{Quick: true, Workers: 4})
+
+	const meas = 8 // Quick window
+	for _, name := range []string{"slowdown-default", "slowdown-a4-d", "a4-state"} {
+		c := serial.Get(name)
+		if c == nil {
+			t.Fatalf("missing curve %s", name)
+		}
+		if len(c.Points) != meas {
+			t.Errorf("curve %s has %d points, want %d", name, len(c.Points), meas)
+		}
+	}
+	for _, p := range serial.Get("slowdown-default").Points {
+		if p.Y <= 0 {
+			t.Errorf("slowdown at %s = %g, want > 0 (HPW progressed every second)", p.Label, p.Y)
+		}
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("transient figure differs across worker counts\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial.String(), parallel.String())
+	}
+}

@@ -9,7 +9,12 @@ import (
 
 // Monitor is the single per-second sampler. It owns the pcm delta stream
 // (so the A4 controller and the result collector see the same samples) and
-// accumulates measurement windows.
+// records measurement windows as per-second series: OnSecond appends one
+// row of named columns per simulated second, and EndWindow reduces the
+// columns to the window aggregates. The reduction performs exactly the
+// additions, in exactly the order, that the old incremental accumulators
+// did, so aggregates are bit-identical to the pre-series measurement path
+// (pinned by the golden tests in internal/scenario).
 type Monitor struct {
 	s *Scenario
 
@@ -19,27 +24,70 @@ type Monitor struct {
 
 	collecting bool
 	secs       int
-	acc        map[pcm.WorkloadID]*wlAccum
-	memRdSum   float64
-	memWrSum   float64
-	portInSum  map[string]float64
-	portOutSum map[string]float64
+	win        *window
+	opts       SeriesOpts
 
 	progressMark map[pcm.WorkloadID]int64
 }
 
-type wlAccum struct {
-	samples int
-	llcHit  float64
-	mlcMiss float64
-	llcMiss float64
-	dcaMiss float64
-	leak    float64
-	ipc     float64
-	ioRd    float64
-	ioWr    float64
-	leaks   int64
-	bloats  int64
+// SeriesOpts selects the telemetry plane's extended per-second columns.
+// The core columns (per-workload rates/IPC/IO, memory and port bandwidth,
+// progress) are always recorded while a window is open — they are the
+// measurement path itself; the option groups add observability columns
+// that aggregates do not need.
+type SeriesOpts struct {
+	// Devices records NIC drop/ring-depth and SSD queue-depth columns.
+	Devices bool
+	// Occupancy records per-workload LLC line counts (wl.<name>.llc_lines).
+	Occupancy bool
+	// Controller records the A4 state machine columns (a4.state,
+	// a4.features, a4.lp_left, a4.lp_right); no-op without an A4 manager.
+	Controller bool
+	// Export attaches the recorded series to EndWindow's Result, and hence
+	// to the scenario report.
+	Export bool
+}
+
+// Per-workload core column layout, in order, within a workload's block.
+const (
+	colLLCHit = iota
+	colMLCMiss
+	colLLCMiss
+	colDCAMiss
+	colLeakRate
+	colIPC
+	colIORd
+	colIOWr
+	colDMALeaks
+	colDMABloats
+	colProgress
+	perWLCols
+)
+
+var wlColNames = [perWLCols]string{
+	"llc_hit", "mlc_miss", "llc_miss", "dca_miss", "leak_rate",
+	"ipc", "io_rd_gbps", "io_wr_gbps", "dma_leaks", "dma_bloats", "progress",
+}
+
+// window is one measurement window's per-second recording: the columnar
+// series plus the index layout and delta baselines OnSecond needs to fill
+// one row without allocating.
+type window struct {
+	series *stats.Series
+	row    []float64
+
+	memRd, memWr int
+	portBase     int                    // 2 columns per port, in PCIe port order
+	wlBase       map[pcm.WorkloadID]int // base of each workload's column block
+
+	// Extended-group offsets; -1 when the group (or device) is absent.
+	nicDrops, nicDepth, ssdDepth int
+	occBase                      int // 1 column per workload, scenario order
+	a4Base                       int // 4 columns: state, features, lp_left, lp_right
+
+	lastProg     []int64 // per-second progress baselines, scenario order
+	lastNICDrops int64
+	occScratch   map[int16]int
 }
 
 // NewMonitor builds the sampler for a scenario.
@@ -47,10 +95,29 @@ func NewMonitor(s *Scenario) *Monitor {
 	return &Monitor{s: s}
 }
 
+// EnableSeries selects the extended telemetry columns for subsequent
+// measurement windows. It must be called before BeginWindow (the scenario
+// layer calls it between Start and the first measurement).
+func (m *Monitor) EnableSeries(opts SeriesOpts) { m.opts = opts }
+
+// SeriesOptions returns the current selection.
+func (m *Monitor) SeriesOptions() SeriesOpts { return m.opts }
+
+// Series returns the open (or just-closed) measurement window's per-second
+// series, or nil if no window was ever opened. The series is live: the
+// monitor appends to it at every second boundary while collecting.
+func (m *Monitor) Series() *stats.Series {
+	if m.win == nil {
+		return nil
+	}
+	return m.win.series
+}
+
 // fork returns an independent deep copy of the sampler bound to the forked
-// scenario: the last sample set, any open measurement window's accumulators,
-// and the progress marks all carry over, so a window opened before the fork
-// closes on the fork with exactly the metrics an uninterrupted run reports.
+// scenario: the last sample set, any open measurement window's series and
+// delta baselines, and the progress marks all carry over, so a window
+// opened before the fork closes on the fork with exactly the metrics — and
+// exactly the series rows — an uninterrupted run reports.
 func (m *Monitor) fork(s *Scenario) *Monitor {
 	n := &Monitor{
 		s:          s,
@@ -59,27 +126,23 @@ func (m *Monitor) fork(s *Scenario) *Monitor {
 		lastMemWr:  m.lastMemWr,
 		collecting: m.collecting,
 		secs:       m.secs,
-		memRdSum:   m.memRdSum,
-		memWrSum:   m.memWrSum,
+		opts:       m.opts,
 	}
-	if m.acc != nil {
-		n.acc = make(map[pcm.WorkloadID]*wlAccum, len(m.acc))
-		for id, a := range m.acc {
-			ac := *a
-			n.acc[id] = &ac
+	if m.win != nil {
+		w := *m.win
+		w.series = m.win.series.Clone()
+		w.row = make([]float64, len(m.win.row))
+		w.lastProg = append([]int64(nil), m.win.lastProg...)
+		if m.win.wlBase != nil {
+			w.wlBase = make(map[pcm.WorkloadID]int, len(m.win.wlBase))
+			for id, v := range m.win.wlBase {
+				w.wlBase[id] = v
+			}
 		}
-	}
-	if m.portInSum != nil {
-		n.portInSum = make(map[string]float64, len(m.portInSum))
-		for k, v := range m.portInSum {
-			n.portInSum[k] = v
+		if m.win.occScratch != nil {
+			w.occScratch = make(map[int16]int, len(m.win.occScratch))
 		}
-	}
-	if m.portOutSum != nil {
-		n.portOutSum = make(map[string]float64, len(m.portOutSum))
-		for k, v := range m.portOutSum {
-			n.portOutSum[k] = v
-		}
+		n.win = &w
 	}
 	if m.progressMark != nil {
 		n.progressMark = make(map[pcm.WorkloadID]int64, len(m.progressMark))
@@ -111,42 +174,135 @@ func (m *Monitor) OnSecond(now sim.Tick) {
 		return
 	}
 	m.secs++
-	m.memRdSum += m.lastMemRd
-	m.memWrSum += m.lastMemWr
-	for _, p := range m.s.H.PCIe().Ports() {
+	w := m.win
+	row := w.row
+	for i := range row {
+		row[i] = 0
+	}
+	row[w.memRd] = m.lastMemRd
+	row[w.memWr] = m.lastMemWr
+	for pi, p := range m.s.H.PCIe().Ports() {
 		in, out := p.DeltaBytes()
-		m.portInSum[p.Name()] += m.s.Fabric.GBps(in, 1)
-		m.portOutSum[p.Name()] += m.s.Fabric.GBps(out, 1)
+		row[w.portBase+2*pi] = m.s.Fabric.GBps(in, 1)
+		row[w.portBase+2*pi+1] = m.s.Fabric.GBps(out, 1)
 	}
 	for _, smp := range m.last {
-		a := m.acc[smp.ID]
-		if a == nil {
-			a = &wlAccum{}
-			m.acc[smp.ID] = a
+		base, ok := w.wlBase[smp.ID]
+		if !ok {
+			continue
 		}
-		a.samples++
-		a.llcHit += smp.LLCHitRate
-		a.mlcMiss += smp.MLCMissRate
-		a.llcMiss += smp.LLCMissRate
-		a.dcaMiss += smp.DCAMissRate
-		a.leak += smp.LeakRate
-		a.ipc += smp.IPC
-		a.ioRd += smp.IOReadGBps
-		a.ioWr += smp.IOWriteGBps
-		a.leaks += smp.DMALeaks
-		a.bloats += smp.DMABloats
+		row[base+colLLCHit] = smp.LLCHitRate
+		row[base+colMLCMiss] = smp.MLCMissRate
+		row[base+colLLCMiss] = smp.LLCMissRate
+		row[base+colDCAMiss] = smp.DCAMissRate
+		row[base+colLeakRate] = smp.LeakRate
+		row[base+colIPC] = smp.IPC
+		row[base+colIORd] = smp.IOReadGBps
+		row[base+colIOWr] = smp.IOWriteGBps
+		row[base+colDMALeaks] = float64(smp.DMALeaks)
+		row[base+colDMABloats] = float64(smp.DMABloats)
 	}
+	for i, wl := range m.s.Workloads {
+		p := wl.Progress()
+		row[w.wlBase[wl.ID()]+colProgress] = float64(p - w.lastProg[i])
+		w.lastProg[i] = p
+	}
+
+	if w.nicDrops >= 0 {
+		d := m.s.NIC.Dropped()
+		row[w.nicDrops] = float64(d - w.lastNICDrops)
+		w.lastNICDrops = d
+		row[w.nicDepth] = float64(m.s.NIC.RingDepth())
+	}
+	if w.ssdDepth >= 0 {
+		row[w.ssdDepth] = float64(m.s.SSD.QueueDepth())
+	}
+	if w.occBase >= 0 {
+		m.s.H.LLC().LinesByOwner(w.occScratch)
+		for i, wl := range m.s.Workloads {
+			row[w.occBase+i] = float64(w.occScratch[int16(wl.ID())])
+		}
+	}
+	if w.a4Base >= 0 {
+		c := m.s.Controller
+		// The controller observer runs after the monitor at each boundary,
+		// so these columns record the state that was in effect during the
+		// just-ended second — aligned with the metrics in the same row.
+		row[w.a4Base] = float64(c.StateCode())
+		row[w.a4Base+1] = float64(c.FeatureMask())
+		l, r := c.LPZone()
+		row[w.a4Base+2] = float64(l)
+		row[w.a4Base+3] = float64(r)
+	}
+	w.series.Append(row...)
 }
 
-// BeginWindow starts a measurement window: progress marks are taken and
-// latency reservoirs reset.
+// newWindow lays out the window's columns. The order is deterministic —
+// memory, ports in PCIe order, workloads in scenario order, then the
+// enabled extended groups — so the series' canonical encoding is a pure
+// function of the scenario and the selection.
+func (m *Monitor) newWindow() *window {
+	w := &window{
+		wlBase:   make(map[pcm.WorkloadID]int, len(m.s.Workloads)),
+		lastProg: make([]int64, len(m.s.Workloads)),
+		nicDrops: -1, nicDepth: -1, ssdDepth: -1, occBase: -1, a4Base: -1,
+	}
+	var names []string
+	add := func(name string) int {
+		names = append(names, name)
+		return len(names) - 1
+	}
+	w.memRd = add("mem.rd_gbps")
+	w.memWr = add("mem.wr_gbps")
+	ports := m.s.H.PCIe().Ports()
+	w.portBase = len(names)
+	for _, p := range ports {
+		add("port." + p.Name() + ".in_gbps")
+		add("port." + p.Name() + ".out_gbps")
+	}
+	for _, wl := range m.s.Workloads {
+		w.wlBase[wl.ID()] = len(names)
+		for _, c := range wlColNames {
+			add("wl." + wl.Name() + "." + c)
+		}
+	}
+	if m.opts.Devices {
+		if m.s.NIC != nil {
+			w.nicDrops = add("nic.drops")
+			w.nicDepth = add("nic.ring_depth")
+			w.lastNICDrops = m.s.NIC.Dropped()
+		}
+		if m.s.SSD != nil {
+			w.ssdDepth = add("ssd.queue_depth")
+		}
+	}
+	if m.opts.Occupancy {
+		w.occBase = len(names)
+		for _, wl := range m.s.Workloads {
+			add("wl." + wl.Name() + ".llc_lines")
+		}
+		w.occScratch = make(map[int16]int, len(m.s.Workloads))
+	}
+	if m.opts.Controller && m.s.Controller != nil {
+		w.a4Base = add("a4.state")
+		add("a4.features")
+		add("a4.lp_left")
+		add("a4.lp_right")
+	}
+	w.series = stats.NewSeries(names...)
+	w.row = make([]float64, len(names))
+	for i, wl := range m.s.Workloads {
+		w.lastProg[i] = wl.Progress()
+	}
+	return w
+}
+
+// BeginWindow starts a measurement window: the per-second series is laid
+// out, progress marks are taken, and latency reservoirs reset.
 func (m *Monitor) BeginWindow() {
 	m.collecting = true
 	m.secs = 0
-	m.acc = make(map[pcm.WorkloadID]*wlAccum)
-	m.memRdSum, m.memWrSum = 0, 0
-	m.portInSum = make(map[string]float64)
-	m.portOutSum = make(map[string]float64)
+	m.win = m.newWindow()
 	m.progressMark = make(map[pcm.WorkloadID]int64)
 	for _, w := range m.s.Workloads {
 		m.progressMark[w.ID()] = w.Progress()
@@ -159,49 +315,61 @@ func (m *Monitor) BeginWindow() {
 	}
 }
 
-// EndWindow closes the window and builds the result.
+// EndWindow closes the window and builds the result by reducing the
+// per-second series. Rate and bandwidth aggregates are column sums divided
+// by the window length (left-to-right addition, identical to the former
+// incremental accumulators); event counts reduce with exact integer
+// addition; progress and latency aggregates come from the progress marks
+// and reservoirs, which also cover fractional trailing seconds that never
+// reached a series row.
 func (m *Monitor) EndWindow() *Result {
 	m.collecting = false
+	w := m.win
 	secs := float64(m.secs)
 	if secs == 0 {
 		secs = 1
 	}
+	rows := w.series.Len()
 	res := &Result{
-		Seconds:    secs,
-		Workloads:  make(map[string]*WorkloadResult),
-		PortInGBps: m.portInSum, PortOutGBps: m.portOutSum,
-		MemReadGBps:  m.memRdSum / secs,
-		MemWriteGBps: m.memWrSum / secs,
+		Seconds:      secs,
+		Workloads:    make(map[string]*WorkloadResult),
+		PortInGBps:   map[string]float64{},
+		PortOutGBps:  map[string]float64{},
+		MemReadGBps:  w.series.Sum("mem.rd_gbps") / secs,
+		MemWriteGBps: w.series.Sum("mem.wr_gbps") / secs,
 	}
-	for k := range res.PortInGBps {
-		res.PortInGBps[k] /= secs
-	}
-	for k := range res.PortOutGBps {
-		res.PortOutGBps[k] /= secs
+	if rows > 0 {
+		// A window with no whole seconds leaves the port maps empty, like
+		// the accumulator path did (entries appeared on first collection).
+		for _, p := range m.s.H.PCIe().Ports() {
+			res.PortInGBps[p.Name()] = w.series.Sum("port."+p.Name()+".in_gbps") / secs
+			res.PortOutGBps[p.Name()] = w.series.Sum("port."+p.Name()+".out_gbps") / secs
+		}
 	}
 	scale := m.s.P.RateScale
-	for _, w := range m.s.Workloads {
-		a := m.acc[w.ID()]
-		if a == nil || a.samples == 0 {
-			a = &wlAccum{samples: 1}
+	for _, wl := range m.s.Workloads {
+		name := wl.Name()
+		n := float64(rows)
+		if n == 0 {
+			n = 1
 		}
-		n := float64(a.samples)
+		col := func(c int) float64 { return w.series.Sum("wl." + name + "." + wlColNames[c]) }
 		wr := &WorkloadResult{
-			Name:         w.Name(),
-			Class:        w.Class(),
-			LLCHitRate:   a.llcHit / n,
-			MLCMissRate:  a.mlcMiss / n,
-			LLCMissRate:  a.llcMiss / n,
-			DCAMissRate:  a.dcaMiss / n,
-			LeakRate:     a.leak / n,
-			IPC:          a.ipc / n,
-			IOReadGBps:   a.ioRd / n,
-			IOWriteGBps:  a.ioWr / n,
-			DMALeaks:     a.leaks,
-			DMABloats:    a.bloats,
-			ProgressRate: float64(w.Progress()-m.progressMark[w.ID()]) / secs,
+			Name:         name,
+			Class:        wl.Class(),
+			LLCHitRate:   col(colLLCHit) / n,
+			MLCMissRate:  col(colMLCMiss) / n,
+			LLCMissRate:  col(colLLCMiss) / n,
+			DCAMissRate:  col(colDCAMiss) / n,
+			LeakRate:     col(colLeakRate) / n,
+			IPC:          col(colIPC) / n,
+			IOReadGBps:   col(colIORd) / n,
+			IOWriteGBps:  col(colIOWr) / n,
+			DMALeaks:     w.series.SumInt("wl." + name + "." + wlColNames[colDMALeaks]),
+			DMABloats:    w.series.SumInt("wl." + name + "." + wlColNames[colDMABloats]),
+			ProgressRate: float64(wl.Progress()-m.progressMark[wl.ID()]) / secs,
 		}
-		if d, ok := w.(*workload.DPDK); ok {
+		if d, ok := wl.(*workload.DPDK); ok {
 			wr.AvgLatUs = d.Latency().Mean() / scale
 			wr.P99LatUs = d.Latency().P99() / scale
 			wait, desc, proc := d.LatencyBreakdown()
@@ -209,11 +377,14 @@ func (m *Monitor) EndWindow() *Result {
 			wr.DescUs = desc.Mean() / scale
 			wr.ProcUs = proc.Mean() / scale
 		}
-		if f, ok := w.(*workload.FIO); ok {
+		if f, ok := wl.(*workload.FIO); ok {
 			wr.ReadLatMs = f.ReadLatency().Mean() / scale / 1000
 			wr.ProcLatMs = f.ProcLatency().Mean() / scale / 1000
 		}
-		res.Workloads[w.Name()] = wr
+		res.Workloads[name] = wr
+	}
+	if m.opts.Export {
+		res.Series = w.series
 	}
 	return res
 }
@@ -227,6 +398,11 @@ type Result struct {
 	MemWriteGBps float64
 	PortInGBps   map[string]float64 // device-to-host, by port name
 	PortOutGBps  map[string]float64
+
+	// Series is the window's per-second telemetry (nil unless the monitor
+	// was configured to export it). It is the same series the aggregates
+	// above were reduced from.
+	Series *stats.Series
 }
 
 // WorkloadResult carries one workload's window metrics.

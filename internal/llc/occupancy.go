@@ -61,6 +61,17 @@ func (l *LLC) Snapshot() *Occupancy {
 	return o
 }
 
+// LinesByOwner tallies valid lines per owning workload across the whole
+// LLC into out (cleared first). Unlike Snapshot it reads only the array's
+// incremental per-(owner, way) counters — O(ways x owners), no line walk —
+// cheap enough for the telemetry plane to call once per simulated second.
+func (l *LLC) LinesByOwner(out map[int16]int) {
+	for k := range out {
+		delete(out, k)
+	}
+	l.arr.OccupancyByOwner(l.allMask, out)
+}
+
 // Utilization returns the valid fraction of a region, in [0, 1].
 func (o *Occupancy) Utilization(role WayRole) float64 {
 	if o.Capacity[role] == 0 {

@@ -163,6 +163,16 @@ func (n *NIC) PktLines() int { return n.rings[0].PktLines }
 // Dropped returns lifetime dropped packets.
 func (n *NIC) Dropped() int64 { return n.dropped }
 
+// RingDepth returns the total packets currently queued across all receive
+// rings — the instantaneous backlog the telemetry plane samples per second.
+func (n *NIC) RingDepth() int {
+	depth := 0
+	for _, r := range n.rings {
+		depth += r.Ready()
+	}
+	return depth
+}
+
 // WrittenPackets returns lifetime delivered packets.
 func (n *NIC) WrittenPackets() int64 { return n.written }
 

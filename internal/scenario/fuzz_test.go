@@ -35,6 +35,10 @@ func FuzzParseSpec(f *testing.F) {
 	f.Add([]byte(`{"manager":"nope"}`))
 	f.Add([]byte(`not json at all`))
 	f.Add([]byte(`{"manager":"default","workloads":[{"kind":"spec","bench":"mcf","cores":[0]}]}`))
+	f.Add([]byte(`{"manager":"default","series":{},"workloads":[{"kind":"xmem","cores":[0]}]}`))
+	f.Add([]byte(`{"manager":"a4-d","series":{"metrics":["DEVICES","core","devices"]},` +
+		`"workloads":[{"kind":"dpdk","cores":[0,1],"touch":true}]}`))
+	f.Add([]byte(`{"manager":"default","series":{"metrics":["nope"]},"workloads":[{"kind":"xmem","cores":[0]}]}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sp, err := Parse(data)

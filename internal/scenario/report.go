@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"a4sim/internal/harness"
+	"a4sim/internal/stats"
 )
 
 // Report is the deterministic, serializable view of one measurement window.
@@ -23,6 +24,13 @@ type Report struct {
 
 	Ports     []PortReport     `json:"ports,omitempty"`
 	Workloads []WorkloadReport `json:"workloads"`
+
+	// Series is the per-second telemetry of the measurement window, present
+	// only when the spec carried a series block. Its canonical encoding is
+	// deterministic (stats.Series), so reports with series remain
+	// byte-identical for equal hashes; without one, the encoding is
+	// byte-identical to the pre-telemetry report format.
+	Series *stats.Series `json:"series,omitempty"`
 }
 
 // PortReport is one PCIe port's window bandwidth.
@@ -70,6 +78,7 @@ func FromResult(sp *Spec, hash string, res *harness.Result) *Report {
 		Seconds:      res.Seconds,
 		MemReadGBps:  res.MemReadGBps,
 		MemWriteGBps: res.MemWriteGBps,
+		Series:       res.Series,
 	}
 	ports := make([]string, 0, len(res.PortInGBps))
 	for name := range res.PortInGBps {

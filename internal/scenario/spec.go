@@ -38,7 +38,26 @@ type Spec struct {
 	// WarmupSec and MeasureSec are the run windows in simulated seconds.
 	WarmupSec  float64 `json:"warmup_sec"`
 	MeasureSec float64 `json:"measure_sec"`
+	// Series, when present, attaches per-second telemetry series to the
+	// report (the time-resolved plane). Absent means aggregates only and
+	// leaves the canonical encoding — and therefore the content and prefix
+	// hashes — exactly what they were before the field existed, so every
+	// cached report stays addressable.
+	Series *SeriesSpec `json:"series,omitempty"`
 }
+
+// SeriesSpec selects the telemetry column groups recorded at 1 Hz during
+// the measurement window and exported with the report.
+type SeriesSpec struct {
+	// Metrics lists the column groups: "core" (per-workload rates, IPC,
+	// I/O, progress, memory and port bandwidth), "devices" (NIC drops and
+	// ring depth, SSD queue depth), "occupancy" (per-workload LLC lines),
+	// "controller" (A4 state, feature mask, LP zone). Empty means all.
+	Metrics []string `json:"metrics,omitempty"`
+}
+
+// SeriesGroups are the valid SeriesSpec metric groups, sorted.
+var SeriesGroups = []string{"controller", "core", "devices", "occupancy"}
 
 // ParamSpec is the JSON view of the harness.Params knobs a spec may set.
 // Fields left zero take the harness defaults (Table 1 testbed).
@@ -188,6 +207,25 @@ func (sp *Spec) Normalize() error {
 			w.Priority = "lpw"
 		}
 	}
+	if sp.Series != nil {
+		// Fold case, duplicates, and the empty all-groups shorthand to one
+		// canonical sorted list, so equivalent selections share one hash.
+		set := map[string]bool{}
+		for _, m := range sp.Series.Metrics {
+			set[strings.ToLower(m)] = true
+		}
+		if len(set) == 0 {
+			for _, g := range SeriesGroups {
+				set[g] = true
+			}
+		}
+		sp.Series.Metrics = sp.Series.Metrics[:0]
+		for _, g := range SeriesGroups {
+			if set[g] {
+				sp.Series.Metrics = append(sp.Series.Metrics, g)
+			}
+		}
+	}
 	return nil
 }
 
@@ -270,6 +308,9 @@ func (sp *Spec) Clone() *Spec {
 		c.Workloads[i] = w
 		c.Workloads[i].Cores = append([]int(nil), w.Cores...)
 	}
+	if sp.Series != nil {
+		c.Series = &SeriesSpec{Metrics: append([]string(nil), sp.Series.Metrics...)}
+	}
 	return &c
 }
 
@@ -291,6 +332,13 @@ func (sp *Spec) Validate() error {
 	if sp.Params.RateScale < 0 || sp.Params.NICGbps < 0 || sp.Params.SSDGBps < 0 ||
 		sp.Params.PacketBytes < 0 || sp.Params.RingEntries < 0 {
 		return fmt.Errorf("scenario: negative param (params are zero-means-default; omit instead): %+v", sp.Params)
+	}
+	if sp.Series != nil {
+		for _, m := range sp.Series.Metrics {
+			if !validSeriesGroup(strings.ToLower(m)) {
+				return fmt.Errorf("scenario: unknown series metric group %q (have %v)", m, SeriesGroups)
+			}
+		}
 	}
 	numCores := harness.DefaultParams().Hierarchy.NumCores
 	owner := map[int]string{}
@@ -388,7 +436,9 @@ func (sp *Spec) Build() (*harness.Scenario, harness.ManagerSpec, error) {
 // Start normalizes the spec in place, builds the scenario, and attaches
 // the manager, ready to Run. Normalizing first means callers that read the
 // windows afterwards (s.Run(sp.WarmupSec, sp.MeasureSec) — the examples'
-// pattern) always run the hash-covered defaults, never zero windows.
+// pattern) always run the hash-covered defaults, never zero windows. A
+// series block configures the monitor's telemetry plane before any window
+// opens, so every measurement window records and exports the selection.
 func (sp *Spec) Start() (*harness.Scenario, error) {
 	if err := sp.Normalize(); err != nil {
 		return nil, err
@@ -398,7 +448,38 @@ func (sp *Spec) Start() (*harness.Scenario, error) {
 		return nil, err
 	}
 	s.Start(mgr)
+	if sp.Series != nil {
+		s.Monitor.EnableSeries(sp.seriesOpts())
+	}
 	return s, nil
+}
+
+// validSeriesGroup reports whether g names a telemetry column group.
+func validSeriesGroup(g string) bool {
+	for _, s := range SeriesGroups {
+		if g == s {
+			return true
+		}
+	}
+	return false
+}
+
+// seriesOpts maps the (normalized) series selection onto the monitor's
+// recording options. The core group is the measurement path itself and is
+// always recorded; selecting it (or nothing) just exports it.
+func (sp *Spec) seriesOpts() harness.SeriesOpts {
+	o := harness.SeriesOpts{Export: true}
+	for _, m := range sp.Series.Metrics {
+		switch strings.ToLower(m) {
+		case "devices":
+			o.Devices = true
+		case "occupancy":
+			o.Occupancy = true
+		case "controller":
+			o.Controller = true
+		}
+	}
+	return o
 }
 
 // Run executes the spec end to end — build, start, warmup, measure — and

@@ -95,6 +95,16 @@ func NewMux(r Runner, stats func() any) *http.ServeMux {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(rep)
 	})
+	mux.HandleFunc("GET /series/{hash}", func(w http.ResponseWriter, req *http.Request) {
+		hash := req.PathValue("hash")
+		series, ok := r.Series(hash)
+		if !ok {
+			httpError(w, http.StatusNotFound, "no cached series for "+hash+" (unknown hash, evicted, or run without a series block)")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(series)
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})

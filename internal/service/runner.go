@@ -8,10 +8,11 @@ import (
 
 // Runner is the execution surface a serving front-end needs: submit one
 // spec, extend a served run by content address, expand-and-run a sweep
-// grid, and retrieve cached reports. The local Service implements it with
-// its in-process worker pool; internal/cluster's Coordinator implements it
-// by sharding over remote a4serve backends. Because both sides honour the
-// determinism contract (same spec hash, same report bytes), callers —
+// grid, and retrieve cached reports and their per-second telemetry. The
+// local Service implements it with its in-process worker pool;
+// internal/cluster's Coordinator implements it by sharding over remote
+// a4serve backends. Because both sides honour the determinism contract
+// (same spec hash, same report bytes, same series bytes), callers —
 // cmd/a4serve's HTTP mux, figures.RunSpecs — cannot observe which one they
 // are talking to except through latency and stats.
 type Runner interface {
@@ -19,6 +20,9 @@ type Runner interface {
 	Extend(hash string, measureSec float64) (Result, error)
 	Sweep(req *SweepRequest) ([]SweepPoint, error)
 	Lookup(hash string) ([]byte, bool)
+	// Series returns the canonical per-second series of a cached run, or
+	// false when the hash is unknown or the run recorded no series.
+	Series(hash string) ([]byte, bool)
 }
 
 // ErrUnavailable means no execution capacity is reachable right now (every

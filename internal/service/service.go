@@ -251,9 +251,15 @@ func (s *Service) Submit(sp *scenario.Spec) (Result, error) {
 		s.stats.Executions++
 		s.mu.Unlock()
 		rep, err := s.runSpec(run)
-		var data, spec []byte
+		var data, spec, series []byte
 		if err == nil {
 			data, err = rep.Encode()
+		}
+		if err == nil && rep.Series != nil {
+			// The window's series is stored beside the report under the same
+			// content address, so GET /series/<hash> serves it without the
+			// client re-parsing the (much larger) report.
+			series, err = rep.Series.Encode()
 		}
 		if err == nil {
 			// The canonical spec is indexed by hash so /extend can re-derive
@@ -267,7 +273,7 @@ func (s *Service) Submit(sp *scenario.Spec) (Result, error) {
 			f.err = &RunError{Hash: hash, Err: err}
 		} else {
 			f.report = data
-			s.cache.put(hash, data, spec)
+			s.cache.put(hash, data, spec, series)
 		}
 		s.mu.Unlock()
 	}
@@ -457,6 +463,16 @@ func (s *Service) Lookup(hash string) ([]byte, bool) {
 	return s.cache.get(hash)
 }
 
+// Series serves a cached run's per-second telemetry by content address.
+// It returns false both for unknown hashes and for runs whose spec carried
+// no series block — either way there is nothing time-resolved to serve.
+// Like Lookup, retrieval does not touch the hit/miss counters.
+func (s *Service) Series(hash string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.seriesOf(hash)
+}
+
 // Stats snapshots the counters.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
@@ -479,9 +495,10 @@ type lruCache struct {
 }
 
 type lruEntry struct {
-	key  string
-	data []byte
-	spec []byte // canonical spec encoding, for Extend
+	key    string
+	data   []byte
+	spec   []byte // canonical spec encoding, for Extend
+	series []byte // canonical series encoding, for GET /series/<hash> (nil when not recorded)
 }
 
 func newLRUCache(capEntries int) *lruCache {
@@ -507,14 +524,30 @@ func (c *lruCache) specOf(key string) ([]byte, bool) {
 	return el.Value.(*lruEntry).spec, true
 }
 
-func (c *lruCache) put(key string, data, spec []byte) {
+// seriesOf returns the series stored beside key's report, refreshing
+// recency like get: series retrieval is result traffic, and a series-hot
+// entry should survive eviction exactly as long as a report-hot one.
+func (c *lruCache) seriesOf(key string) ([]byte, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	e := el.Value.(*lruEntry)
+	if e.series == nil {
+		return nil, false
+	}
+	return e.series, true
+}
+
+func (c *lruCache) put(key string, data, spec, series []byte) {
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		e := el.Value.(*lruEntry)
-		e.data, e.spec = data, spec
+		e.data, e.spec, e.series = data, spec, series
 		return
 	}
-	c.items[key] = c.ll.PushFront(&lruEntry{key: key, data: data, spec: spec})
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, data: data, spec: spec, series: series})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)

@@ -13,6 +13,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"time"
 )
 
@@ -129,8 +130,14 @@ func (e *Engine) Fork(actors []Actor, observers []Observer) *Engine {
 }
 
 // Run advances simulated time by the given number of simulated seconds.
+// Fractional seconds convert to epochs by rounding half-up: Run(0.29) runs
+// exactly 290 epochs even though 0.29*1000 is 289.999… in float64. Pinning
+// the conversion matters for the telemetry plane — a run split as
+// Run(a); Run(b) must cross the same whole-second boundaries as Run(a+b),
+// or per-second series cadence would drift (truncation loses an epoch per
+// call and accumulates).
 func (e *Engine) Run(seconds float64) {
-	epochs := int(seconds * EpochsPerSecond)
+	epochs := int(math.Floor(seconds*EpochsPerSecond + 0.5))
 	e.RunEpochs(epochs)
 }
 

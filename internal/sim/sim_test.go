@@ -56,6 +56,47 @@ func TestObserverCadence(t *testing.T) {
 	}
 }
 
+// Run's fractional-second conversion rounds half-up: seconds values whose
+// float64 product with EpochsPerSecond lands just below an integer (0.29 →
+// 289.999…) must still run the full epoch count, and a run split into
+// fractional pieces must cross every whole-second boundary an unsplit run
+// crosses — the per-second series cadence depends on it.
+func TestRunFractionalSecondsRounding(t *testing.T) {
+	cases := []struct {
+		sec    float64
+		epochs Tick
+	}{
+		{0.29, 290}, // 0.29*1000 = 289.999… in float64: truncation would lose an epoch
+		{0.001, 1},  // a4top's single-epoch nudge
+		{1.0, 1000}, // whole seconds unchanged
+		{2.999, 2999},
+		{0.0004, 0}, // below half an epoch rounds to nothing
+		{0.0005, 1}, // half rounds up
+	}
+	for _, c := range cases {
+		e := NewEngine(1)
+		e.Run(c.sec)
+		if e.Now() != c.epochs*TicksPerEpoch {
+			t.Errorf("Run(%g): now = %d ticks, want %d epochs", c.sec, e.Now(), c.epochs)
+		}
+	}
+
+	// Ten 0.1 s pieces and one 1.0 s run must both land exactly on the
+	// second boundary and fire the observer exactly once.
+	split := NewEngine(1)
+	var fired int
+	split.AddObserver(FuncObserver(func(now Tick) { fired++ }))
+	for i := 0; i < 10; i++ {
+		split.Run(0.1)
+	}
+	if split.Now() != TicksPerSecond {
+		t.Errorf("10 x Run(0.1): now = %d, want %d", split.Now(), TicksPerSecond)
+	}
+	if fired != 1 {
+		t.Errorf("10 x Run(0.1): observer fired %d times, want 1", fired)
+	}
+}
+
 func TestEngineStop(t *testing.T) {
 	e := NewEngine(1)
 	a := &countingActor{name: "a", rate: 1000}

@@ -1,7 +1,8 @@
 // Package stats provides the small statistical toolkit used throughout the
 // simulator: streaming percentile reservoirs for latency distributions,
 // exponential moving averages for the A4 control loop, simple rate meters,
-// and labeled series for figure generation.
+// labeled curves for figure generation, and fixed-cadence columnar time
+// series for the per-second telemetry plane.
 package stats
 
 import (
@@ -185,7 +186,7 @@ func Fluctuation(a, b float64) float64 {
 	return math.Abs(a-b) / m
 }
 
-// Point is one (x, y) sample of a figure series.
+// Point is one (x, y) sample of a figure curve.
 type Point struct {
 	X float64
 	Y float64
@@ -193,19 +194,20 @@ type Point struct {
 	Label string
 }
 
-// Series is a named sequence of points, one line in a reproduced figure.
-type Series struct {
+// Curve is a named sequence of points, one line in a reproduced figure.
+// (The time-resolved, fixed-cadence counterpart is Series in series.go.)
+type Curve struct {
 	Name   string
 	Points []Point
 }
 
 // Add appends a labeled point.
-func (s *Series) Add(label string, x, y float64) {
+func (s *Curve) Add(label string, x, y float64) {
 	s.Points = append(s.Points, Point{X: x, Y: y, Label: label})
 }
 
-// String renders the series as aligned text rows.
-func (s *Series) String() string {
+// String renders the curve as aligned text rows.
+func (s *Curve) String() string {
 	out := s.Name + ":\n"
 	for _, p := range s.Points {
 		lbl := p.Label

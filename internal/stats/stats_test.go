@@ -129,8 +129,8 @@ func TestRatioAndFluctuation(t *testing.T) {
 	}
 }
 
-func TestSeries(t *testing.T) {
-	var s Series
+func TestCurve(t *testing.T) {
+	var s Curve
 	s.Name = "test"
 	s.Add("a", 1, 10)
 	s.Add("", 2, 20)

@@ -28,6 +28,20 @@ fork_speedup=$(echo "$raw" | awk '
 	END { if (fresh > 0 && forked > 0) printf "%.2f", fresh / forked; else printf "0" }')
 echo "sweep_fork_speedup=$fork_speedup"
 
+# Telemetry-plane cost: the relative ns/op difference between a measured
+# second with every extended series group on and the default (core-only)
+# measurement path. Measured in a dedicated multi-iteration pass — the
+# bound is sub-3%, which a single-iteration suite run cannot resolve from
+# noise. Informational; bench_gate.sh does not gate on it.
+series_raw=$(go test -run '^$' -bench '^BenchmarkScenarioSecondSeries$' \
+	-benchtime "${SERIES_BENCHTIME:-4x}" .)
+echo "$series_raw" | grep '^BenchmarkScenarioSecondSeries' || true
+series_overhead=$(echo "$series_raw" | awk '
+	/^BenchmarkScenarioSecondSeries\/off/ {off = $3}
+	/^BenchmarkScenarioSecondSeries\/on/  {on = $3}
+	END { if (off > 0 && on > 0) printf "%.2f", (on - off) * 100 / off; else printf "0" }')
+echo "series_overhead_pct=$series_overhead"
+
 # Serving throughput: start a throwaway daemon, loadgen against it, parse
 # the service_cached_rps line. Guarded so a sandboxed environment without
 # loopback listening still records the compute benchmarks.
@@ -120,6 +134,7 @@ fi
 	echo "  \"service_cached_rps\": ${serve_rps},"
 	echo "  \"cluster_sweep_rps\": ${cluster_rps},"
 	echo "  \"sweep_fork_speedup\": ${fork_speedup},"
+	echo "  \"series_overhead_pct\": ${series_overhead},"
 	echo '  "benchmarks": {'
 	echo "$raw" | awk '
 		/^Benchmark/ {
