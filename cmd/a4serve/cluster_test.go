@@ -25,7 +25,7 @@ func coordServer(t *testing.T, nBackends int) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(service.NewMux(coord, func() any { return coord.Stats() }))
+	srv := httptest.NewServer(service.NewMux(coord, func() any { return coord.Stats() }, nil))
 	t.Cleanup(srv.Close)
 	return srv
 }

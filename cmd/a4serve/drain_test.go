@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"a4sim/internal/scenario"
+	"a4sim/internal/service"
+)
+
+// TestHealthzGatesOnDraining pins the shutdown handshake: the instant the
+// healthy gate flips, /healthz answers 503 (so probes and coordinators stop
+// routing here) while already-accepted endpoints keep serving until the
+// listener closes.
+func TestHealthzGatesOnDraining(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	svc := service.New(service.Config{Workers: 1, CacheEntries: 16})
+	t.Cleanup(svc.Close)
+	srv := httptest.NewServer(service.NewMux(svc, func() any { return svc.Stats() }, healthy.Load))
+	t.Cleanup(srv.Close)
+
+	get := func(path string) int {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthy /healthz status %d, want 200", code)
+	}
+
+	healthy.Store(false)
+	if code := get("/healthz"); code != http.StatusServiceUnavailable {
+		t.Errorf("draining /healthz status %d, want 503", code)
+	}
+	// The serving surface is still up while the drain runs.
+	if code := get("/stats"); code != http.StatusOK {
+		t.Errorf("draining /stats status %d, want 200", code)
+	}
+}
+
+// TestSnapshotEndpointsShipWarmState round-trips a warm snapshot between
+// two daemons over the HTTP surface the cluster handoff uses: export from
+// the node that ran the spec, import on a cold node, and show the cold node
+// forks it — answering the longer run byte-identically to a from-scratch
+// execution.
+func TestSnapshotEndpointsShipWarmState(t *testing.T) {
+	a := testServer(t)
+	b := testServer(t)
+
+	sp, err := scenario.BuiltinMix("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Params.RateScale = 8192
+	body, _ := json.Marshal(sp)
+	if resp, err := http.Post(a.URL+"/run", "application/json", bytes.NewReader(body)); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /run status %d", resp.StatusCode)
+		}
+	}
+	prefix, err := sp.PrefixHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unknown prefixes are a clean 404 on both verbs' shared path.
+	resp, err := http.Get(b.URL + "/snapshot/" + prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cold node GET /snapshot status %d, want 404", resp.StatusCode)
+	}
+
+	resp, err = http.Get(a.URL + "/snapshot/" + prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm node GET /snapshot status %d (err %v)", resp.StatusCode, err)
+	}
+
+	// Corrupt bytes are rejected with 422; the intact export installs.
+	bad := append([]byte(nil), snap...)
+	bad[len(bad)-1] ^= 0x01
+	resp, err = http.Post(b.URL+"/snapshot/"+prefix, "application/octet-stream", bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("corrupt POST /snapshot status %d, want 422", resp.StatusCode)
+	}
+	resp, err = http.Post(b.URL+"/snapshot/"+prefix, "application/octet-stream", bytes.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("intact POST /snapshot status %d, want 200", resp.StatusCode)
+	}
+
+	// The cold node now serves a longer same-prefix run from the shipped
+	// warm state, byte-identical to simulating it from scratch.
+	long := sp.Clone()
+	long.MeasureSec++
+	longBody, _ := json.Marshal(long)
+	resp, err = http.Post(b.URL+"/run", "application/json", bytes.NewReader(longBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr runResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	rep, err := long.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := rep.Encode()
+	if !bytes.Equal(rr.Report, want) {
+		t.Fatal("run continued from a shipped snapshot differs from a fresh run")
+	}
+
+	resp, err = http.Get(b.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st service.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.SnapshotForks != 1 {
+		t.Errorf("cold node snapshot_forks = %d, want 1", st.SnapshotForks)
+	}
+}

@@ -44,20 +44,25 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"a4sim/internal/cluster"
 	"a4sim/internal/scenario"
 	"a4sim/internal/service"
+	"a4sim/internal/store"
 )
 
 // loadgenClient bounds every loadgen request so a wedged daemon cannot
@@ -68,7 +73,9 @@ func main() {
 	addr := flag.String("addr", ":8044", "listen address")
 	workers := flag.Int("workers", 0, "execution pool size (0 = GOMAXPROCS)")
 	cacheEntries := flag.Int("cache", 256, "result cache capacity in entries")
+	storeDir := flag.String("store", "", "durable object store directory: spill results and warm snapshots to disk and rehydrate them on restart")
 	clusterURLs := flag.String("cluster", "", "comma-separated backend URLs: serve as cluster coordinator instead of executing locally")
+	revive := flag.Duration("revive", 0, "cluster: how long a down backend stays quarantined before revival probes (0 = default)")
 	loadgen := flag.Bool("loadgen", false, "run as load generator against -url instead of serving")
 	url := flag.String("url", "http://localhost:8044", "loadgen: target daemon or coordinator")
 	n := flag.Int("n", 200, "loadgen: total requests")
@@ -84,20 +91,37 @@ func main() {
 		os.Exit(runLoadgen(*url, *n, *clients, *fresh))
 	}
 
+	// healthy gates /healthz: flipped to false at the start of a graceful
+	// shutdown so probes and coordinators stop routing here while in-flight
+	// jobs drain.
+	var healthy atomic.Bool
+	healthy.Store(true)
+
 	var mux *http.ServeMux
+	var svc *service.Service
 	if *clusterURLs != "" {
 		backends := strings.Split(*clusterURLs, ",")
-		coord, err := cluster.New(cluster.Config{Backends: backends})
+		coord, err := cluster.New(cluster.Config{Backends: backends, ReviveAfter: *revive})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "a4serve:", err)
 			os.Exit(1)
 		}
-		mux = service.NewMux(coord, func() any { return coord.Stats() })
+		mux = service.NewMux(coord, func() any { return coord.Stats() }, healthy.Load)
 		fmt.Printf("a4serve: coordinating %d backends on %s (%s)\n",
 			len(backends), *addr, strings.Join(backends, ", "))
 	} else {
-		svc := service.New(service.Config{Workers: *workers, CacheEntries: *cacheEntries})
-		mux = service.NewMux(svc, func() any { return svc.Stats() })
+		cfg := service.Config{Workers: *workers, CacheEntries: *cacheEntries}
+		if *storeDir != "" {
+			st, err := store.Open(*storeDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "a4serve:", err)
+				os.Exit(1)
+			}
+			cfg.Store = st
+			fmt.Printf("a4serve: durable store %s (%d objects)\n", st.Dir(), st.Len())
+		}
+		svc = service.New(cfg)
+		mux = service.NewMux(svc, func() any { return svc.Stats() }, healthy.Load)
 		fmt.Printf("a4serve: listening on %s (workers=%d cache=%d mixes=%v)\n",
 			*addr, svc.Stats().Workers, *cacheEntries, scenario.BuiltinMixes())
 	}
@@ -110,10 +134,33 @@ func main() {
 		ReadTimeout:       time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
-	if err := srv.ListenAndServe(); err != nil {
+
+	// Graceful shutdown: on SIGINT/SIGTERM flip /healthz to 503, then drain —
+	// Shutdown waits for in-flight requests (and the executions behind them)
+	// before closing the listener, so accepted work is answered and every
+	// completed run has already been durably spilled by the worker that ran
+	// it. A second signal aborts the wait for operators in a hurry.
+	go func() {
+		sig := make(chan os.Signal, 2)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		healthy.Store(false)
+		fmt.Println("a4serve: draining (signal again to abort)")
+		ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "a4serve:", err)
 		os.Exit(1)
 	}
+	if svc != nil {
+		// Let queued jobs finish so their results reach the store; nothing
+		// else needs flushing — store writes are synced at Put time.
+		svc.Close()
+	}
+	fmt.Println("a4serve: drained, exiting")
 }
 
 // runLoadgen drives a daemon with a mix of repeated and fresh specs. The

@@ -17,7 +17,7 @@ func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	svc := service.New(service.Config{Workers: 2, CacheEntries: 16})
 	t.Cleanup(svc.Close)
-	srv := httptest.NewServer(service.NewMux(svc, func() any { return svc.Stats() }))
+	srv := httptest.NewServer(service.NewMux(svc, func() any { return svc.Stats() }, nil))
 	t.Cleanup(srv.Close)
 	return srv
 }

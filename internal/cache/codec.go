@@ -1,0 +1,53 @@
+package cache
+
+import "a4sim/internal/codec"
+
+// EncodeState appends the array's dynamic state: slot words, per-set LRU
+// permutations and valid bitmaps, the incremental occupancy counters, and
+// the victim-randomness stream. Geometry (sets, ways, randPct) is
+// structural — a decoder rebuilds the array from configuration and only
+// restores this state on top.
+func (c *Cache) EncodeState(w *codec.Writer) {
+	w.U64s(c.slots)
+	w.U64s(c.order)
+	w.U32s(c.valid)
+	w.I32s(c.validByWay)
+	w.Int(len(c.ownerByWay))
+	for _, s := range c.ownerByWay {
+		w.I32s(s)
+	}
+	w.U64(c.rngs)
+}
+
+// DecodeState restores state written by EncodeState, rejecting snapshots
+// whose geometry disagrees with the receiver's.
+func (c *Cache) DecodeState(r *codec.Reader) {
+	slots := r.U64s()
+	order := r.U64s()
+	valid := r.U32s()
+	validByWay := r.I32s()
+	nOwner := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	if len(slots) != len(c.slots) || len(order) != len(c.order) ||
+		len(valid) != len(c.valid) || len(validByWay) != len(c.validByWay) ||
+		nOwner != len(c.ownerByWay) {
+		r.Failf("cache: snapshot geometry mismatch (%d slots, array has %d)", len(slots), len(c.slots))
+		return
+	}
+	ownerByWay := make([][]int32, nOwner)
+	for i := range ownerByWay {
+		ownerByWay[i] = r.I32s()
+	}
+	rngs := r.U64()
+	if r.Err() != nil {
+		return
+	}
+	c.slots = slots
+	c.order = order
+	c.valid = valid
+	c.validByWay = validByWay
+	c.ownerByWay = ownerByWay
+	c.rngs = rngs
+}

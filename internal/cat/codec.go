@@ -1,0 +1,34 @@
+package cat
+
+import (
+	"a4sim/internal/cache"
+	"a4sim/internal/codec"
+)
+
+// EncodeState appends the CAT state: every CLOS mask and the per-core CLOS
+// associations. The core count and way count are structural.
+func (a *Allocator) EncodeState(w *codec.Writer) {
+	for _, m := range a.masks {
+		w.U32(uint32(m))
+	}
+	w.Blob(a.clos)
+}
+
+// DecodeState restores state written by EncodeState, rejecting snapshots
+// whose core count disagrees with the receiver's.
+func (a *Allocator) DecodeState(r *codec.Reader) {
+	var masks [MaxCLOS]cache.WayMask
+	for i := range masks {
+		masks[i] = cache.WayMask(r.U32())
+	}
+	clos := r.Blob()
+	if r.Err() != nil {
+		return
+	}
+	if len(clos) != len(a.clos) {
+		r.Failf("cat: snapshot has %d cores, allocator has %d", len(clos), len(a.clos))
+		return
+	}
+	a.masks = masks
+	a.clos = clos
+}

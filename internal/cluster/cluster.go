@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sort"
 	"strings"
@@ -58,11 +59,14 @@ type Coordinator struct {
 	probe       *http.Client // healthz and stats traffic, short timeout
 	reviveAfter time.Duration
 
-	mu       sync.Mutex
-	routes   map[string]string // content hash -> routing key
-	routeCap int
-	reroutes uint64 // points re-sent after losing a backend
-	rejected uint64 // submissions refused before any routing
+	mu          sync.Mutex
+	routes      map[string]string // content hash -> routing key
+	owners      map[string]string // routing key (prefix hash) -> backend URL last serving it
+	routeCap    int
+	reroutes    uint64 // points re-sent after losing a backend
+	softRetries uint64 // same-backend retries after a transient transport error
+	handoffs    uint64 // warm snapshots shipped between backends on reroute or revival
+	rejected    uint64 // submissions refused before any routing
 }
 
 type backend struct {
@@ -102,6 +106,7 @@ func New(cfg Config) (*Coordinator, error) {
 		probe:       &http.Client{Timeout: 10 * time.Second},
 		reviveAfter: revive,
 		routes:      make(map[string]string),
+		owners:      make(map[string]string),
 		routeCap:    routeCap,
 	}
 	seen := map[string]bool{}
@@ -304,9 +309,15 @@ func errorMessage(body []byte) string {
 }
 
 // submitKey routes body down key's rendezvous order until a backend serves
-// it. Lost backends are marked down (so later points skip them without
-// paying a timeout) and the point is re-sent to the next backend — the
-// retry-with-reroute that keeps a sweep complete when a node dies mid-run.
+// it. A lost call gets one same-backend retry (transient transport hiccups
+// should not re-shard the keyspace and abandon a backend's warm state);
+// backends lost twice in a row are marked down (so later points skip them
+// without paying a timeout) and the point is re-sent to the next backend —
+// the retry-with-reroute that keeps a sweep complete when a node dies
+// mid-run. When the routing target differs from the backend that last
+// served this key, the previous owner's warm snapshot is shipped over
+// first, so reroutes and revivals continue from warm state instead of
+// re-simulating the prefix.
 func (c *Coordinator) submitKey(key, path string, body []byte) (service.Result, error) {
 	var lastErr, lastBusy error
 	sawLost := false
@@ -314,9 +325,20 @@ func (c *Coordinator) submitKey(key, path string, body []byte) (service.Result, 
 		if !c.routable(b) {
 			continue
 		}
+		c.maybeHandoff(key, b)
 		res, class, err := c.call(b, path, body)
+		if class == callLost {
+			c.mu.Lock()
+			c.softRetries++
+			c.mu.Unlock()
+			// Jittered backoff so a fleet of coordinator goroutines does not
+			// re-hit a briefly-choking backend in lockstep.
+			time.Sleep(time.Duration(50+rand.Intn(100)) * time.Millisecond)
+			res, class, err = c.call(b, path, body)
+		}
 		switch class {
 		case callOK:
+			c.recordOwner(key, b.url)
 			return res, nil
 		case callTerminal:
 			return service.Result{}, err
@@ -340,6 +362,67 @@ func (c *Coordinator) submitKey(key, path string, body []byte) (service.Result, 
 		lastErr = errors.New("all backends marked down")
 	}
 	return service.Result{}, fmt.Errorf("cluster: %w: %v", service.ErrUnavailable, lastErr)
+}
+
+// maxSnapshotWireBytes bounds a shipped snapshot body, mirroring the
+// backend's own POST /snapshot cap.
+const maxSnapshotWireBytes = 64 << 20
+
+// maybeHandoff ships the warm snapshot for routing key (a prefix hash)
+// from the backend that last served it to target, the backend about to
+// serve it now — the reroute/revival path that moves warm state instead of
+// re-warming. Strictly best-effort and fully validated on the receiving
+// side: any failure (previous owner gone, no snapshot, corrupt bytes,
+// target rejecting) just means target re-executes from scratch, which is
+// always correct. The short-timeout probe client bounds how long a dead
+// owner can stall the submission path.
+func (c *Coordinator) maybeHandoff(key string, target *backend) {
+	c.mu.Lock()
+	owner := c.owners[key]
+	c.mu.Unlock()
+	if owner == "" || owner == target.url {
+		return
+	}
+	resp, err := c.probe.Get(owner + "/snapshot/" + key)
+	if err != nil {
+		return
+	}
+	data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxSnapshotWireBytes+1))
+	resp.Body.Close()
+	if rerr != nil || resp.StatusCode != http.StatusOK || len(data) > maxSnapshotWireBytes {
+		return
+	}
+	post, err := c.probe.Post(target.url+"/snapshot/"+key, "application/octet-stream", bytes.NewReader(data))
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, post.Body)
+	post.Body.Close()
+	if post.StatusCode == http.StatusOK {
+		c.mu.Lock()
+		c.handoffs++
+		c.mu.Unlock()
+	}
+}
+
+// recordOwner remembers which backend last served a routing key, bounded
+// like the route index; eviction only costs a missed handoff opportunity.
+func (c *Coordinator) recordOwner(key, url string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.owners[key]; ok {
+		if cur != url {
+			c.owners[key] = url
+		}
+		return
+	}
+	if len(c.owners) >= c.routeCap {
+		for k := range c.owners {
+			delete(c.owners, k)
+			break
+		}
+	}
+	c.owners[key] = url
 }
 
 // Submit routes one spec to the backend owning its prefix hash. Using the
@@ -560,9 +643,11 @@ type BackendStats struct {
 // while Backends preserves the per-backend breakdown.
 type Stats struct {
 	service.Stats
-	Reroutes uint64         `json:"reroutes"`
-	Rejected uint64         `json:"rejected"`
-	Backends []BackendStats `json:"backends"`
+	Reroutes         uint64         `json:"reroutes"`
+	SoftRetries      uint64         `json:"soft_retries"`
+	SnapshotHandoffs uint64         `json:"snapshot_handoffs"`
+	Rejected         uint64         `json:"rejected"`
+	Backends         []BackendStats `json:"backends"`
 }
 
 // Stats polls every backend's /stats concurrently and merges the counters.
@@ -599,9 +684,14 @@ func (c *Coordinator) Stats() Stats {
 		out.Queued += bs.Stats.Queued
 		out.SnapshotForks += bs.Stats.SnapshotForks
 		out.SnapshotEntries += bs.Stats.SnapshotEntries
+		out.StoreHits += bs.Stats.StoreHits
+		out.StoreObjects += bs.Stats.StoreObjects
+		out.StoreQuarantined += bs.Stats.StoreQuarantined
 	}
 	c.mu.Lock()
 	out.Reroutes = c.reroutes
+	out.SoftRetries = c.softRetries
+	out.SnapshotHandoffs = c.handoffs
 	out.Rejected = c.rejected
 	c.mu.Unlock()
 	return out

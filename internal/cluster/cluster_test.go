@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -36,7 +37,7 @@ func newBackend(t *testing.T) *httptest.Server {
 	t.Helper()
 	svc := service.New(service.Config{Workers: 2, CacheEntries: 64})
 	t.Cleanup(svc.Close)
-	srv := httptest.NewServer(service.NewMux(svc, func() any { return svc.Stats() }))
+	srv := httptest.NewServer(service.NewMux(svc, func() any { return svc.Stats() }, nil))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -152,7 +153,7 @@ func TestClusterReroutesLostBackendMidSweep(t *testing.T) {
 		svc := service.New(service.Config{Workers: 2, CacheEntries: 64})
 		t.Cleanup(svc.Close)
 		kills[i] = &killableBackend{
-			inner: service.NewMux(svc, func() any { return svc.Stats() }),
+			inner: service.NewMux(svc, func() any { return svc.Stats() }, nil),
 			serve: 1,
 		}
 		srv := httptest.NewServer(kills[i])
@@ -359,5 +360,240 @@ func TestNewRejectsBadConfig(t *testing.T) {
 	}
 	if _, err := New(Config{Backends: []string{" "}}); err == nil {
 		t.Error("blank backend accepted")
+	}
+}
+
+// flakyBackend drops the next `drops` connections at the transport level,
+// then serves normally — a transient hiccup, not a dead node.
+type flakyBackend struct {
+	inner http.Handler
+	drops atomic.Int64
+}
+
+func (f *flakyBackend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.drops.Add(-1) >= 0 {
+		panic(http.ErrAbortHandler)
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+// TestSoftRetrySurvivesTransientDrop pins the same-backend retry: one
+// dropped connection costs a soft retry, not a down-mark — the point is
+// served by the same backend, nothing is rerouted, and the backend keeps
+// its place in the routing order (and its warm state with it).
+func TestSoftRetrySurvivesTransientDrop(t *testing.T) {
+	svc := service.New(service.Config{Workers: 2})
+	t.Cleanup(svc.Close)
+	fb := &flakyBackend{inner: service.NewMux(svc, func() any { return svc.Stats() }, nil)}
+	fb.drops.Store(1)
+	srv := httptest.NewServer(fb)
+	t.Cleanup(srv.Close)
+
+	coord := newCoordinator(t, srv.URL)
+	res, err := coord.Submit(testSpec(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := testSpec(21).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := rep.Encode()
+	if !bytes.Equal(res.Report, want) {
+		t.Fatal("report served through a soft retry differs from a serial run")
+	}
+
+	st := coord.Stats()
+	if st.SoftRetries != 1 {
+		t.Errorf("soft_retries = %d, want 1", st.SoftRetries)
+	}
+	if st.Reroutes != 0 {
+		t.Errorf("transient drop caused %d reroutes, want 0", st.Reroutes)
+	}
+	if st.Backends[0].Down {
+		t.Error("transient drop down-marked the backend")
+	}
+}
+
+// togglableBackend can be switched between alive and killed: while dead it
+// aborts every connection (requests, healthz probes, snapshot GETs alike),
+// exactly like a kill -9'd process behind the same port.
+type togglableBackend struct {
+	inner http.Handler
+	dead  atomic.Bool
+}
+
+func (tb *togglableBackend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if tb.dead.Load() {
+		panic(http.ErrAbortHandler)
+	}
+	tb.inner.ServeHTTP(w, r)
+}
+
+// TestSnapshotHandoffOnRevival walks the full lose-and-revive cycle: the
+// prefix's home backend dies (its points reroute cold — the fallback
+// backend re-executes, which is always correct), then the home revives and
+// the coordinator ships the fallback's warm snapshot back before routing
+// the next same-prefix point there — the revived node continues from warm
+// state instead of re-simulating the prefix.
+func TestSnapshotHandoffOnRevival(t *testing.T) {
+	toggles := make([]*togglableBackend, 2)
+	urls := make([]string, 2)
+	for i := range toggles {
+		svc := service.New(service.Config{Workers: 2, CacheEntries: 64})
+		t.Cleanup(svc.Close)
+		toggles[i] = &togglableBackend{inner: service.NewMux(svc, func() any { return svc.Stats() }, nil)}
+		srv := httptest.NewServer(toggles[i])
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	coord, err := New(Config{Backends: urls, ReviveAfter: 75 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sp := testSpec(22)
+	_, _, prefix, err := sp.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := coord.rendezvous(prefix)[0].url
+	var homeToggle *togglableBackend
+	for i, url := range urls {
+		if url == home {
+			homeToggle = toggles[i]
+		}
+	}
+
+	// Warm the home backend, then kill it.
+	if _, err := coord.Submit(sp); err != nil {
+		t.Fatal(err)
+	}
+	homeToggle.dead.Store(true)
+
+	// The next same-prefix point reroutes to the fallback, which re-executes
+	// from scratch (the dead owner cannot export its snapshot — degradation,
+	// not failure) and becomes the recorded owner.
+	mid := testSpec(22)
+	mid.MeasureSec = 2
+	if _, err := coord.Submit(mid); err != nil {
+		t.Fatal(err)
+	}
+	if st := coord.Stats(); st.SnapshotHandoffs != 0 {
+		t.Errorf("handoff claimed from a dead owner: %+v", st)
+	}
+
+	// Revive the home; after ReviveAfter its healthz probe readmits it, and
+	// the coordinator ships the fallback's warm snapshot over first.
+	homeToggle.dead.Store(false)
+	time.Sleep(150 * time.Millisecond)
+	long := testSpec(22)
+	long.MeasureSec = 3
+	res, err := coord.Submit(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := long.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := rep.Encode()
+	if !bytes.Equal(res.Report, want) {
+		t.Fatal("post-revival report differs from a serial run")
+	}
+
+	st := coord.Stats()
+	if st.SnapshotHandoffs < 1 {
+		t.Errorf("snapshot_handoffs = %d, want >= 1 after revival", st.SnapshotHandoffs)
+	}
+	for _, bs := range st.Backends {
+		if bs.URL == home {
+			if bs.Down {
+				t.Error("revived home still marked down")
+			}
+			if bs.Stats.SnapshotForks < 1 {
+				t.Errorf("revived home snapshot_forks = %d, want >= 1 (warm handoff unused)", bs.Stats.SnapshotForks)
+			}
+		}
+	}
+}
+
+// snapshotCorruptor flips a byte in every snapshot export it proxies; all
+// other traffic passes through untouched.
+type snapshotCorruptor struct {
+	inner http.Handler
+}
+
+func (sc *snapshotCorruptor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet || !strings.HasPrefix(r.URL.Path, "/snapshot/") {
+		sc.inner.ServeHTTP(w, r)
+		return
+	}
+	rec := httptest.NewRecorder()
+	sc.inner.ServeHTTP(rec, r)
+	data := rec.Body.Bytes()
+	if rec.Code == http.StatusOK && len(data) > 0 {
+		data[len(data)-1] ^= 0x01
+	}
+	for k, v := range rec.Header() {
+		w.Header()[k] = v
+	}
+	w.WriteHeader(rec.Code)
+	w.Write(data)
+}
+
+// TestHandoffRejectsCorruptSnapshot ships deliberately corrupted snapshot
+// bytes on the handoff path and pins the degradation contract: the target
+// rejects the import (no handoff counted, no warm state seeded) and simply
+// re-executes — byte-identically.
+func TestHandoffRejectsCorruptSnapshot(t *testing.T) {
+	// The previous owner sits outside the coordinator's fleet and serves its
+	// snapshot through a corrupting proxy.
+	ownerSvc := service.New(service.Config{Workers: 2})
+	t.Cleanup(ownerSvc.Close)
+	owner := httptest.NewServer(&snapshotCorruptor{
+		inner: service.NewMux(ownerSvc, func() any { return ownerSvc.Stats() }, nil),
+	})
+	t.Cleanup(owner.Close)
+
+	sp := testSpec(23)
+	if _, err := ownerSvc.Submit(sp); err != nil {
+		t.Fatal(err)
+	}
+	_, _, prefix, err := sp.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	target := newBackend(t)
+	coord := newCoordinator(t, target.URL)
+	coord.mu.Lock()
+	coord.owners[prefix] = owner.URL
+	coord.mu.Unlock()
+
+	long := testSpec(23)
+	long.MeasureSec = 2
+	res, err := coord.Submit(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := long.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := rep.Encode()
+	if !bytes.Equal(res.Report, want) {
+		t.Fatal("report after a corrupt handoff differs from a serial run")
+	}
+
+	st := coord.Stats()
+	if st.SnapshotHandoffs != 0 {
+		t.Errorf("corrupt snapshot counted as a handoff: %+v", st)
+	}
+	if st.Backends[0].Stats.SnapshotForks != 0 {
+		t.Errorf("corrupt snapshot seeded warm state: %+v", st.Backends[0].Stats)
+	}
+	if st.Backends[0].Stats.Executions != 1 {
+		t.Errorf("target executions = %d, want 1 (re-execution)", st.Backends[0].Stats.Executions)
 	}
 }

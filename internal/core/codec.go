@@ -1,0 +1,168 @@
+package core
+
+import (
+	"sort"
+
+	"a4sim/internal/codec"
+	"a4sim/internal/pcm"
+)
+
+// sortedIDs returns map keys in ascending order, pinning the wire order of
+// the controller's per-workload maps.
+func sortedIDs[V any](m map[pcm.WorkloadID]V) []pcm.WorkloadID {
+	ids := make([]pcm.WorkloadID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// EncodeState appends the controller's dynamic state machine: zone bounds,
+// search state, per-workload references, antagonist records, demotions, and
+// the decision log. Configuration, the workload info set, and the sampler
+// closures are structural.
+func (c *Controller) EncodeState(w *codec.Writer) {
+	w.Int(c.secs)
+	w.Int(int(c.state))
+	w.Int(c.stateAge)
+	w.Int(c.lpLeft)
+	w.Int(c.lpRight)
+	w.Int(c.minLeft)
+	w.F64(c.lastMemBW)
+	w.Int(c.savedLPLeft)
+
+	w.Int(len(c.hitRef))
+	for _, id := range sortedIDs(c.hitRef) {
+		w.I64(int64(id))
+		w.F64(c.hitRef[id])
+	}
+	w.Int(len(c.lastHit))
+	for _, id := range sortedIDs(c.lastHit) {
+		w.I64(int64(id))
+		w.F64(c.lastHit[id])
+	}
+	w.Int(len(c.lastSeen))
+	for _, id := range sortedIDs(c.lastSeen) {
+		w.I64(int64(id))
+		s := c.lastSeen[id]
+		s.EncodeState(w)
+	}
+	w.Int(len(c.antagonists))
+	for _, id := range sortedIDs(c.antagonists) {
+		w.I64(int64(id))
+		a := c.antagonists[id]
+		w.Int(a.left)
+		w.F64(a.missAtDetect)
+		w.F64(a.ioTPAtDetect)
+		w.Bool(a.storage)
+		w.Bool(a.settled)
+		w.Bool(a.baselined)
+	}
+	w.Int(len(c.demoted))
+	for _, id := range sortedIDs(c.demoted) {
+		w.I64(int64(id))
+		w.Bool(c.demoted[id])
+	}
+	w.Int(len(c.Events))
+	for _, e := range c.Events {
+		w.String(e)
+	}
+}
+
+// mapCount reads a count prefix and bounds it by the remaining bytes (each
+// entry occupies at least the given size).
+func mapCount(r *codec.Reader, entrySize int) int {
+	n := r.Int()
+	if r.Err() != nil {
+		return 0
+	}
+	if n < 0 || n*entrySize > r.Remaining() {
+		r.Failf("core: snapshot claims %d map entries", n)
+		return 0
+	}
+	return n
+}
+
+// DecodeState restores state written by EncodeState. The maps are replaced
+// wholesale; a partial failure leaves the sticky error set and the caller
+// discards the controller.
+func (c *Controller) DecodeState(r *codec.Reader) {
+	secs := r.Int()
+	state := searchState(r.Int())
+	stateAge := r.Int()
+	lpLeft := r.Int()
+	lpRight := r.Int()
+	minLeft := r.Int()
+	lastMemBW := r.F64()
+	savedLPLeft := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	if state < stateInit || state > stateReverting {
+		r.Failf("core: snapshot has invalid controller state %d", state)
+		return
+	}
+
+	hitRef := make(map[pcm.WorkloadID]float64)
+	for i, n := 0, mapCount(r, 16); i < n; i++ {
+		id := pcm.WorkloadID(r.I64())
+		hitRef[id] = r.F64()
+	}
+	lastHit := make(map[pcm.WorkloadID]float64)
+	for i, n := 0, mapCount(r, 16); i < n; i++ {
+		id := pcm.WorkloadID(r.I64())
+		lastHit[id] = r.F64()
+	}
+	lastSeen := make(map[pcm.WorkloadID]pcm.Sample)
+	for i, n := 0, mapCount(r, 16); i < n; i++ {
+		id := pcm.WorkloadID(r.I64())
+		var s pcm.Sample
+		s.DecodeState(r)
+		lastSeen[id] = s
+	}
+	antagonists := make(map[pcm.WorkloadID]*antagonist)
+	for i, n := 0, mapCount(r, 16); i < n; i++ {
+		id := pcm.WorkloadID(r.I64())
+		a := &antagonist{
+			left:         r.Int(),
+			missAtDetect: r.F64(),
+			ioTPAtDetect: r.F64(),
+			storage:      r.Bool(),
+			settled:      r.Bool(),
+			baselined:    r.Bool(),
+		}
+		antagonists[id] = a
+	}
+	demoted := make(map[pcm.WorkloadID]bool)
+	for i, n := 0, mapCount(r, 9); i < n; i++ {
+		id := pcm.WorkloadID(r.I64())
+		demoted[id] = r.Bool()
+	}
+	nEvents := mapCount(r, 4)
+	events := make([]string, 0, nEvents)
+	for i := 0; i < nEvents; i++ {
+		events = append(events, r.String())
+	}
+	if r.Err() != nil {
+		return
+	}
+
+	c.secs = secs
+	c.state = state
+	c.stateAge = stateAge
+	c.lpLeft = lpLeft
+	c.lpRight = lpRight
+	c.minLeft = minLeft
+	c.lastMemBW = lastMemBW
+	c.savedLPLeft = savedLPLeft
+	c.hitRef = hitRef
+	c.lastHit = lastHit
+	c.lastSeen = lastSeen
+	c.antagonists = antagonists
+	c.demoted = demoted
+	if len(events) == 0 {
+		events = nil
+	}
+	c.Events = events
+}

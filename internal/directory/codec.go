@@ -1,0 +1,36 @@
+package directory
+
+import "a4sim/internal/codec"
+
+// EncodeState appends the directory's dynamic state: slot words, LRU
+// permutations, valid bitmaps, the tracked-line count, and the
+// back-invalidation diagnostic. Geometry is structural.
+func (d *Directory) EncodeState(w *codec.Writer) {
+	w.U64s(d.slots)
+	w.U64s(d.order)
+	w.U32s(d.used)
+	w.Int(d.valid)
+	w.I64(d.BackInvalidations)
+}
+
+// DecodeState restores state written by EncodeState, rejecting snapshots
+// whose geometry disagrees with the receiver's.
+func (d *Directory) DecodeState(r *codec.Reader) {
+	slots := r.U64s()
+	order := r.U64s()
+	used := r.U32s()
+	valid := r.Int()
+	backInv := r.I64()
+	if r.Err() != nil {
+		return
+	}
+	if len(slots) != len(d.slots) || len(order) != len(d.order) || len(used) != len(d.used) {
+		r.Failf("directory: snapshot geometry mismatch (%d slots, directory has %d)", len(slots), len(d.slots))
+		return
+	}
+	d.slots = slots
+	d.order = order
+	d.used = used
+	d.valid = valid
+	d.BackInvalidations = backInv
+}

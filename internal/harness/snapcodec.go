@@ -1,0 +1,324 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"a4sim/internal/codec"
+	"a4sim/internal/pcm"
+	"a4sim/internal/stats"
+	"a4sim/internal/workload"
+)
+
+// This file implements the durable form of the snapshot/fork contract:
+// Snapshot.Encode serializes a captured scenario's dynamic state to bytes,
+// and DecodeSnapshot restores it onto a freshly constructed scenario built
+// from the same spec. The split is "structure from spec, state from blob":
+// the byte stream carries only mutable state (RNG streams, cache arrays,
+// ring/command queues, controller state machine, open telemetry window),
+// while everything structural — geometry, workload set, column layout — is
+// rebuilt by the receiver from the canonical spec and validated against the
+// stream's fingerprint. A decoded snapshot forks into continuations that
+// are byte-identical to the original's (pinned by internal/scenario's
+// round-trip tests), which is what lets the service spill warm state to
+// disk and the cluster ship it between backends: anything restored can be
+// re-derived by plain re-execution, so a failed decode degrades to a fresh
+// run, never to wrong bytes.
+
+// snapMagic and snapVersion identify the encoding. The version covers the
+// entire layer order and every per-package wire shape; any change to either
+// must bump it, and decoders reject versions they do not know — stale
+// snapshots are then re-executed, never misparsed.
+const (
+	snapMagic   = "A4SN"
+	snapVersion = 1
+)
+
+// Workload kind tags in the encoded stream.
+const (
+	wlKindDPDK      = 1
+	wlKindFIO       = 2
+	wlKindSynthetic = 3
+)
+
+func wlKind(w workload.Workload) (uint8, error) {
+	switch w.(type) {
+	case *workload.DPDK:
+		return wlKindDPDK, nil
+	case *workload.FIO:
+		return wlKindFIO, nil
+	case *workload.Synthetic:
+		return wlKindSynthetic, nil
+	default:
+		return 0, fmt.Errorf("harness: cannot encode workload type %T", w)
+	}
+}
+
+// Encode serializes the captured state. The result decodes only onto a
+// scenario built from the same spec (same workloads, geometry, manager, and
+// series options); DecodeSnapshot validates that structurally.
+func (sn *Snapshot) Encode() ([]byte, error) {
+	s := sn.frozen
+	w := &codec.Writer{}
+	w.Raw([]byte(snapMagic))
+	w.U32(snapVersion)
+
+	// Structural fingerprint, checked before any state is touched.
+	w.Int(len(s.Engine.Actors()))
+	w.Int(len(s.Workloads))
+	w.Bool(s.NIC != nil)
+	w.Bool(s.SSD != nil)
+	w.Int(s.Fabric.NumWorkloads())
+	w.Bool(s.Controller != nil)
+
+	s.Engine.EncodeState(w)
+	w.U64(s.rng.State())
+	s.Fabric.EncodeState(w)
+	s.H.EncodeState(w)
+	s.Alloc.EncodeState(w)
+	if s.NIC != nil {
+		s.NIC.EncodeState(w)
+	}
+	if s.SSD != nil {
+		s.SSD.EncodeState(w)
+	}
+	for _, wl := range s.Workloads {
+		kind, err := wlKind(wl)
+		if err != nil {
+			return nil, err
+		}
+		w.U8(kind)
+		switch wl := wl.(type) {
+		case *workload.DPDK:
+			wl.EncodeState(w)
+		case *workload.FIO:
+			wl.EncodeState(w)
+		case *workload.Synthetic:
+			wl.EncodeState(w)
+		}
+	}
+	s.Monitor.encodeState(w)
+	if s.Controller != nil {
+		s.Controller.EncodeState(w)
+	}
+	return w.Bytes(), nil
+}
+
+// DecodeSnapshot restores encoded state onto fresh, a just-started scenario
+// built from the same spec the snapshot was taken from (the caller obtains
+// it by re-running the spec's construction — cheap, no simulation). It
+// takes ownership of fresh: on success the returned snapshot wraps it (fork
+// the snapshot to obtain runnable scenarios); on error fresh is in an
+// undefined state and must be discarded.
+func DecodeSnapshot(data []byte, fresh *Scenario) (*Snapshot, error) {
+	if !fresh.started {
+		return nil, fmt.Errorf("harness: DecodeSnapshot needs a started scenario")
+	}
+	r := codec.NewReader(data)
+	if string(r.Raw(len(snapMagic))) != snapMagic {
+		return nil, fmt.Errorf("harness: not a snapshot (bad magic)")
+	}
+	if v := r.U32(); v != snapVersion {
+		return nil, fmt.Errorf("harness: snapshot version %d, want %d", v, snapVersion)
+	}
+
+	nActors := r.Int()
+	nWorkloads := r.Int()
+	hasNIC := r.Bool()
+	hasSSD := r.Bool()
+	nFabric := r.Int()
+	hasController := r.Bool()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	switch {
+	case nActors != len(fresh.Engine.Actors()):
+		return nil, fmt.Errorf("harness: snapshot has %d actors, scenario has %d", nActors, len(fresh.Engine.Actors()))
+	case nWorkloads != len(fresh.Workloads):
+		return nil, fmt.Errorf("harness: snapshot has %d workloads, scenario has %d", nWorkloads, len(fresh.Workloads))
+	case hasNIC != (fresh.NIC != nil):
+		return nil, fmt.Errorf("harness: snapshot and scenario disagree on NIC presence")
+	case hasSSD != (fresh.SSD != nil):
+		return nil, fmt.Errorf("harness: snapshot and scenario disagree on SSD presence")
+	case nFabric != fresh.Fabric.NumWorkloads():
+		return nil, fmt.Errorf("harness: snapshot has %d fabric workloads, scenario has %d", nFabric, fresh.Fabric.NumWorkloads())
+	case hasController != (fresh.Controller != nil):
+		return nil, fmt.Errorf("harness: snapshot and scenario disagree on controller presence")
+	}
+
+	fresh.Engine.DecodeState(r)
+	fresh.rng.SetState(r.U64())
+	fresh.Fabric.DecodeState(r)
+	fresh.H.DecodeState(r)
+	fresh.Alloc.DecodeState(r)
+	if fresh.NIC != nil {
+		fresh.NIC.DecodeState(r)
+	}
+	if fresh.SSD != nil {
+		fresh.SSD.DecodeState(r)
+	}
+	for i, wl := range fresh.Workloads {
+		want, err := wlKind(wl)
+		if err != nil {
+			return nil, err
+		}
+		if got := r.U8(); r.Err() == nil && got != want {
+			return nil, fmt.Errorf("harness: snapshot workload %d has kind %d, scenario has %d", i, got, want)
+		}
+		switch wl := wl.(type) {
+		case *workload.DPDK:
+			wl.DecodeState(r)
+		case *workload.FIO:
+			wl.DecodeState(r)
+		case *workload.Synthetic:
+			wl.DecodeState(r)
+		}
+	}
+	fresh.Monitor.decodeState(r)
+	if fresh.Controller != nil {
+		fresh.Controller.DecodeState(r)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("harness: decode snapshot: %w", err)
+	}
+	if n := r.Remaining(); n != 0 {
+		return nil, fmt.Errorf("harness: snapshot has %d trailing bytes", n)
+	}
+	return &Snapshot{frozen: fresh}, nil
+}
+
+// encodeState appends the sampler's dynamic state: the last sample set,
+// memory-bandwidth baselines, window progress, the progress marks, and an
+// open measurement window's series and delta baselines. The series options
+// are structural (the scenario layer derives them from the spec) but are
+// encoded for validation.
+func (m *Monitor) encodeState(w *codec.Writer) {
+	w.Int(len(m.last))
+	for i := range m.last {
+		m.last[i].EncodeState(w)
+	}
+	w.F64(m.lastMemRd)
+	w.F64(m.lastMemWr)
+	w.Bool(m.collecting)
+	w.Int(m.secs)
+	w.Bool(m.opts.Devices)
+	w.Bool(m.opts.Occupancy)
+	w.Bool(m.opts.Controller)
+	w.Bool(m.opts.Export)
+
+	w.Bool(m.progressMark != nil)
+	if m.progressMark != nil {
+		ids := make([]pcm.WorkloadID, 0, len(m.progressMark))
+		for id := range m.progressMark {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		w.Int(len(ids))
+		for _, id := range ids {
+			w.I64(int64(id))
+			w.I64(m.progressMark[id])
+		}
+	}
+
+	w.Bool(m.win != nil)
+	if m.win != nil {
+		m.win.series.EncodeState(w)
+		w.I64s(m.win.lastProg)
+		w.I64(m.win.lastNICDrops)
+	}
+}
+
+// decodeState restores state written by encodeState. The window's column
+// layout is rebuilt with newWindow (a pure function of the scenario and the
+// options) and validated against the encoded series' column names, so a
+// snapshot from a structurally different scenario fails the read instead
+// of misaligning columns.
+func (m *Monitor) decodeState(r *codec.Reader) {
+	nLast := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	if nLast < 0 || nLast > r.Remaining() {
+		r.Failf("harness: snapshot claims %d samples", nLast)
+		return
+	}
+	last := make([]pcm.Sample, nLast)
+	for i := range last {
+		last[i].DecodeState(r)
+	}
+	lastMemRd := r.F64()
+	lastMemWr := r.F64()
+	collecting := r.Bool()
+	secs := r.Int()
+	opts := SeriesOpts{
+		Devices:    r.Bool(),
+		Occupancy:  r.Bool(),
+		Controller: r.Bool(),
+		Export:     r.Bool(),
+	}
+	if r.Err() != nil {
+		return
+	}
+	if opts != m.opts {
+		r.Failf("harness: snapshot series options %+v differ from scenario's %+v", opts, m.opts)
+		return
+	}
+
+	var progressMark map[pcm.WorkloadID]int64
+	if r.Bool() {
+		n := r.Int()
+		if r.Err() != nil {
+			return
+		}
+		if n < 0 || n*16 > r.Remaining() {
+			r.Failf("harness: snapshot claims %d progress marks", n)
+			return
+		}
+		progressMark = make(map[pcm.WorkloadID]int64, n)
+		for i := 0; i < n; i++ {
+			id := pcm.WorkloadID(r.I64())
+			progressMark[id] = r.I64()
+		}
+	}
+
+	var win *window
+	if r.Bool() {
+		series := stats.DecodeSeriesState(r)
+		lastProg := r.I64s()
+		lastNICDrops := r.I64()
+		if r.Err() != nil {
+			return
+		}
+		win = m.newWindow()
+		want := win.series.Names()
+		got := series.Names()
+		if len(got) != len(want) {
+			r.Failf("harness: snapshot window has %d columns, scenario lays out %d", len(got), len(want))
+			return
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				r.Failf("harness: snapshot window column %d is %q, scenario lays out %q", i, got[i], want[i])
+				return
+			}
+		}
+		if len(lastProg) != len(win.lastProg) {
+			r.Failf("harness: snapshot window has %d progress baselines, scenario has %d", len(lastProg), len(win.lastProg))
+			return
+		}
+		win.series = series
+		copy(win.lastProg, lastProg)
+		win.lastNICDrops = lastNICDrops
+	}
+	if r.Err() != nil {
+		return
+	}
+
+	m.last = last
+	m.lastMemRd = lastMemRd
+	m.lastMemWr = lastMemWr
+	m.collecting = collecting
+	m.secs = secs
+	m.progressMark = progressMark
+	m.win = win
+}

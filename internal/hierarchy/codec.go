@@ -1,0 +1,47 @@
+package hierarchy
+
+import "a4sim/internal/codec"
+
+// EncodeState appends the whole memory system's dynamic state: the
+// migration-race RNG, the LLC, every MLC, the extended directory, the
+// memory controller, CAT state, and the PCIe complex. The counter fabric is
+// shared with other components and encoded separately by the scenario
+// layer; configuration is structural.
+func (h *Hierarchy) EncodeState(w *codec.Writer) {
+	w.U64(h.rng)
+	h.llc.EncodeState(w)
+	w.Int(len(h.mlcs))
+	for _, m := range h.mlcs {
+		m.EncodeState(w)
+	}
+	h.dir.EncodeState(w)
+	h.mem.EncodeState(w)
+	h.cat.EncodeState(w)
+	h.pcie.EncodeState(w)
+}
+
+// DecodeState restores state written by EncodeState, rejecting snapshots
+// whose core count disagrees with the receiver's.
+func (h *Hierarchy) DecodeState(r *codec.Reader) {
+	rng := r.U64()
+	h.llc.DecodeState(r)
+	n := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	if n != len(h.mlcs) {
+		r.Failf("hierarchy: snapshot has %d MLCs, hierarchy has %d", n, len(h.mlcs))
+		return
+	}
+	for _, m := range h.mlcs {
+		m.DecodeState(r)
+	}
+	h.dir.DecodeState(r)
+	h.mem.DecodeState(r)
+	h.cat.DecodeState(r)
+	h.pcie.DecodeState(r)
+	if r.Err() != nil {
+		return
+	}
+	h.rng = rng
+}

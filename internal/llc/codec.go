@@ -1,0 +1,28 @@
+package llc
+
+import (
+	"a4sim/internal/cache"
+	"a4sim/internal/codec"
+)
+
+// EncodeState appends the LLC's dynamic state: the reconfigurable DDIO way
+// mask (SetDCAMask moves it at runtime) and the underlying array. Geometry
+// and the fixed role masks are structural.
+func (l *LLC) EncodeState(w *codec.Writer) {
+	w.U32(uint32(l.dcaMask))
+	l.arr.EncodeState(w)
+}
+
+// DecodeState restores state written by EncodeState.
+func (l *LLC) DecodeState(r *codec.Reader) {
+	mask := cache.WayMask(r.U32())
+	l.arr.DecodeState(r)
+	if r.Err() != nil {
+		return
+	}
+	if mask&^l.allMask != 0 {
+		r.Failf("llc: snapshot DCA mask %#x exceeds %d ways", uint32(mask), l.geom.Ways)
+		return
+	}
+	l.dcaMask = mask
+}

@@ -1,0 +1,26 @@
+package mem
+
+import "a4sim/internal/codec"
+
+// EncodeState appends the controller's traffic accounting, including the
+// pending (un-Delta'd) byte counts.
+func (c *Controller) EncodeState(w *codec.Writer) {
+	w.I64(c.readBytes)
+	w.I64(c.writeBytes)
+	w.I64(c.lastRead)
+	w.I64(c.lastWrite)
+}
+
+// DecodeState restores state written by EncodeState.
+func (c *Controller) DecodeState(r *codec.Reader) {
+	c.readBytes = r.I64()
+	c.writeBytes = r.I64()
+	c.lastRead = r.I64()
+	c.lastWrite = r.I64()
+}
+
+// EncodeState appends the allocator cursor.
+func (a *AddressSpace) EncodeState(w *codec.Writer) { w.U64(a.nextLine) }
+
+// DecodeState restores the allocator cursor.
+func (a *AddressSpace) DecodeState(r *codec.Reader) { a.nextLine = r.U64() }

@@ -1,0 +1,10 @@
+package mlc
+
+import "a4sim/internal/codec"
+
+// EncodeState appends the MLC's dynamic state — just the underlying array;
+// the owning core and geometry are structural.
+func (m *MLC) EncodeState(w *codec.Writer) { m.arr.EncodeState(w) }
+
+// DecodeState restores state written by EncodeState.
+func (m *MLC) DecodeState(r *codec.Reader) { m.arr.DecodeState(r) }

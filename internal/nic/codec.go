@@ -1,0 +1,77 @@
+package nic
+
+import "a4sim/internal/codec"
+
+// EncodeState appends the NIC's dynamic state: RSS cursor, mid-packet DMA
+// progress, drop/delivery counters, the (SetRate-adjustable) offered load,
+// and every ring's occupancy and arrival stamps. Ring geometry and buffer
+// addresses are structural.
+func (n *NIC) EncodeState(w *codec.Writer) {
+	w.Int(n.currentRing)
+	w.Int(n.lineInPkt)
+	w.I64(n.dropped)
+	w.I64(n.written)
+	w.F64(n.rate)
+	w.Int(len(n.rings))
+	for _, r := range n.rings {
+		w.Int(r.head)
+		w.Int(r.tail)
+		w.Int(r.count)
+		w.F64s(r.stamps)
+	}
+}
+
+// DecodeState restores state written by EncodeState, rejecting snapshots
+// whose ring geometry disagrees with the receiver's.
+func (n *NIC) DecodeState(r *codec.Reader) {
+	currentRing := r.Int()
+	lineInPkt := r.Int()
+	dropped := r.I64()
+	written := r.I64()
+	rate := r.F64()
+	nr := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	if nr != len(n.rings) {
+		r.Failf("nic: snapshot has %d rings, NIC has %d", nr, len(n.rings))
+		return
+	}
+	if currentRing < 0 || currentRing >= len(n.rings) {
+		r.Failf("nic: snapshot RSS cursor %d out of range", currentRing)
+		return
+	}
+	heads := make([]int, nr)
+	tails := make([]int, nr)
+	counts := make([]int, nr)
+	stamps := make([][]float64, nr)
+	for i, ring := range n.rings {
+		heads[i] = r.Int()
+		tails[i] = r.Int()
+		counts[i] = r.Int()
+		stamps[i] = r.F64s()
+		if r.Err() != nil {
+			return
+		}
+		if len(stamps[i]) != ring.Entries {
+			r.Failf("nic: snapshot ring %d has %d stamps, ring has %d entries", i, len(stamps[i]), ring.Entries)
+			return
+		}
+		if heads[i] < 0 || heads[i] >= ring.Entries || tails[i] < 0 || tails[i] >= ring.Entries ||
+			counts[i] < 0 || counts[i] > ring.Entries {
+			r.Failf("nic: snapshot ring %d cursors out of range", i)
+			return
+		}
+	}
+	n.currentRing = currentRing
+	n.lineInPkt = lineInPkt
+	n.dropped = dropped
+	n.written = written
+	n.rate = rate
+	for i, ring := range n.rings {
+		ring.head = heads[i]
+		ring.tail = tails[i]
+		ring.count = counts[i]
+		ring.stamps = stamps[i]
+	}
+}

@@ -1,0 +1,40 @@
+package pcie
+
+import "a4sim/internal/codec"
+
+// EncodeState appends the complex's dynamic state: the global DCA switch
+// and, per port, the DDIO knob and traffic accounting (including pending
+// deltas). Port count and names are structural.
+func (c *Complex) EncodeState(w *codec.Writer) {
+	w.Bool(c.globalDCA)
+	w.Int(len(c.ports))
+	for _, p := range c.ports {
+		w.Bool(p.dcaEnabled)
+		w.I64(p.inboundBytes)
+		w.I64(p.outboundBytes)
+		w.I64(p.lastInbound)
+		w.I64(p.lastOutbound)
+	}
+}
+
+// DecodeState restores state written by EncodeState, rejecting snapshots
+// whose port count disagrees with the receiver's.
+func (c *Complex) DecodeState(r *codec.Reader) {
+	globalDCA := r.Bool()
+	n := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	if n != len(c.ports) {
+		r.Failf("pcie: snapshot has %d ports, complex has %d", n, len(c.ports))
+		return
+	}
+	c.globalDCA = globalDCA
+	for _, p := range c.ports {
+		p.dcaEnabled = r.Bool()
+		p.inboundBytes = r.I64()
+		p.outboundBytes = r.I64()
+		p.lastInbound = r.I64()
+		p.lastOutbound = r.I64()
+	}
+}

@@ -1,0 +1,93 @@
+package pcm
+
+import (
+	"a4sim/internal/codec"
+	"a4sim/internal/stats"
+)
+
+// counterBlocks returns the counter fields in their declared order — the
+// single place that pins the wire order of a Counters block.
+func (c *Counters) counterBlocks() []*stats.Counter {
+	return []*stats.Counter{
+		&c.MLCHits, &c.MLCMisses, &c.LLCHits, &c.LLCMisses,
+		&c.DCAHits, &c.DCAAllocs,
+		&c.DMALeaks, &c.DMABloats, &c.DirEvictions,
+		&c.Instructions, &c.Cycles,
+		&c.IOReadBytes, &c.IOWriteBytes,
+	}
+}
+
+// EncodeState appends every counter in declared order. Name is structural
+// (fixed by workload registration) and not encoded.
+func (c *Counters) EncodeState(w *codec.Writer) {
+	for _, ctr := range c.counterBlocks() {
+		ctr.EncodeState(w)
+	}
+}
+
+// DecodeState restores state written by EncodeState.
+func (c *Counters) DecodeState(r *codec.Reader) {
+	for _, ctr := range c.counterBlocks() {
+		ctr.DecodeState(r)
+	}
+}
+
+// EncodeState appends every registered workload's counter block. The
+// registration set (count and names) is structural.
+func (f *Fabric) EncodeState(w *codec.Writer) {
+	w.Int(len(f.counters))
+	for _, c := range f.counters {
+		c.EncodeState(w)
+	}
+}
+
+// DecodeState restores state written by EncodeState, rejecting snapshots
+// whose workload count disagrees with the receiver's registration set.
+func (f *Fabric) DecodeState(r *codec.Reader) {
+	n := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	if n != len(f.counters) {
+		r.Failf("pcm: snapshot has %d workloads, fabric has %d", n, len(f.counters))
+		return
+	}
+	for _, c := range f.counters {
+		c.DecodeState(r)
+	}
+}
+
+// EncodeState appends the full derived sample (the A4 controller carries
+// samples across seconds, so they are part of controller state).
+func (s *Sample) EncodeState(w *codec.Writer) {
+	w.I64(int64(s.ID))
+	w.String(s.Name)
+	w.F64(s.MLCHitRate)
+	w.F64(s.MLCMissRate)
+	w.F64(s.LLCHitRate)
+	w.F64(s.LLCMissRate)
+	w.F64(s.DCAMissRate)
+	w.F64(s.LeakRate)
+	w.F64(s.IPC)
+	w.F64(s.IOReadGBps)
+	w.F64(s.IOWriteGBps)
+	w.I64(s.DMALeaks)
+	w.I64(s.DMABloats)
+}
+
+// DecodeState restores a sample written by EncodeState.
+func (s *Sample) DecodeState(r *codec.Reader) {
+	s.ID = WorkloadID(r.I64())
+	s.Name = r.String()
+	s.MLCHitRate = r.F64()
+	s.MLCMissRate = r.F64()
+	s.LLCHitRate = r.F64()
+	s.LLCMissRate = r.F64()
+	s.DCAMissRate = r.F64()
+	s.LeakRate = r.F64()
+	s.IPC = r.F64()
+	s.IOReadGBps = r.F64()
+	s.IOWriteGBps = r.F64()
+	s.DMALeaks = r.I64()
+	s.DMABloats = r.I64()
+}

@@ -15,10 +15,27 @@ import (
 // API a client sees is identical either way, which is what lets -cluster
 // slot in without touching clients.
 
+// SnapshotStore is the optional warm-state transfer surface a Runner may
+// implement (the local Service does; a coordinator does not — it moves
+// snapshots, it never holds them). When present, the mux exposes
+// GET/POST /snapshot/<prefix> for snapshot shipping between nodes.
+type SnapshotStore interface {
+	// SnapshotBytes exports the wrapped warm snapshot for a prefix hash.
+	SnapshotBytes(prefix string) ([]byte, bool)
+	// InstallSnapshot validates and imports a wrapped warm snapshot.
+	InstallSnapshot(prefix string, data []byte) error
+}
+
+// maxSnapshotBytes caps a POST /snapshot body. Warm snapshots are a few MB
+// at the Skylake geometry; the cap only has to stop memory exhaustion.
+const maxSnapshotBytes = 64 << 20
+
 // NewMux serves r over the a4serve HTTP API. stats supplies the /stats
 // payload: a Stats for a local service, a merged cluster view for a
-// coordinator.
-func NewMux(r Runner, stats func() any) *http.ServeMux {
+// coordinator. healthy, when non-nil, gates /healthz: a false return serves
+// 503, which is how a draining daemon tells probes and coordinators to
+// route elsewhere before its listener closes.
+func NewMux(r Runner, stats func() any, healthy func() bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /run", func(w http.ResponseWriter, req *http.Request) {
 		body, err := readBody(w, req)
@@ -106,11 +123,38 @@ func NewMux(r Runner, stats func() any) *http.ServeMux {
 		w.Write(series)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		if healthy != nil && !healthy() {
+			httpError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, stats())
 	})
+	if ss, ok := r.(SnapshotStore); ok {
+		mux.HandleFunc("GET /snapshot/{prefix}", func(w http.ResponseWriter, req *http.Request) {
+			data, ok := ss.SnapshotBytes(req.PathValue("prefix"))
+			if !ok {
+				httpError(w, http.StatusNotFound, "no warm snapshot for "+req.PathValue("prefix"))
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(data)
+		})
+		mux.HandleFunc("POST /snapshot/{prefix}", func(w http.ResponseWriter, req *http.Request) {
+			data, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxSnapshotBytes))
+			if err != nil {
+				httpError(w, bodyErrStatus(err), err.Error())
+				return
+			}
+			if err := ss.InstallSnapshot(req.PathValue("prefix"), data); err != nil {
+				httpError(w, http.StatusUnprocessableEntity, err.Error())
+				return
+			}
+			writeJSON(w, map[string]string{"status": "installed"})
+		})
+	}
 	return mux
 }
 

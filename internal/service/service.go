@@ -17,6 +17,7 @@ import (
 
 	"a4sim/internal/harness"
 	"a4sim/internal/scenario"
+	"a4sim/internal/store"
 )
 
 // Config sizes the service.
@@ -37,6 +38,12 @@ type Config struct {
 	// the cap is deliberately small. 0 means 8; negative disables snapshot
 	// reuse entirely.
 	SnapshotEntries int
+	// Store, when non-nil, is the durable content-addressed object store
+	// under the in-memory caches (internal/store). Executed reports, specs,
+	// series, and warm snapshots spill to it; LRU misses fall back to it; a
+	// restarted service rehydrates from it. Nil means memory-only serving,
+	// exactly as before the store existed.
+	Store *store.Store
 }
 
 // Stats are the service's monotonic counters, served by /stats.
@@ -55,6 +62,13 @@ type Stats struct {
 	// the snapshot cache's current size.
 	SnapshotForks   uint64 `json:"snapshot_forks"`
 	SnapshotEntries int    `json:"snapshot_entries"`
+
+	// StoreHits counts lookups served from the durable store after an
+	// in-memory miss; StoreObjects and StoreQuarantined mirror the store's
+	// index size and lifetime quarantine count. All zero without a store.
+	StoreHits        uint64 `json:"store_hits"`
+	StoreObjects     int    `json:"store_objects"`
+	StoreQuarantined int64  `json:"store_quarantined"`
 }
 
 // Result is one served submission.
@@ -96,6 +110,10 @@ type Service struct {
 	// nil when disabled. It has its own lock: snapshot forking is heavy and
 	// must not serialize the submission path.
 	snaps *snapStore
+
+	// disk is the durable object store under the in-memory caches; nil when
+	// the service runs memory-only.
+	disk *store.Store
 }
 
 // New starts a service with cfg's pool and cache.
@@ -117,6 +135,7 @@ func New(cfg Config) *Service {
 		maxQueue: maxQueue,
 		inflight: make(map[string]*flight),
 		cache:    newLRUCache(entries),
+		disk:     cfg.Store,
 	}
 	if cfg.SnapshotEntries >= 0 {
 		se := cfg.SnapshotEntries
@@ -228,6 +247,16 @@ func (s *Service) Submit(sp *scenario.Spec) (Result, error) {
 		}
 		return Result{Hash: hash, Cached: false, Report: f.report}, nil
 	}
+	// Disk fallback before scheduling an execution: a restarted (or
+	// memory-evicted) service serves durably stored results instead of
+	// re-simulating them.
+	if s.disk != nil {
+		if res, ok := s.diskResultLocked(hash); ok {
+			s.stats.Hits++
+			s.mu.Unlock()
+			return res, nil
+		}
+	}
 	// Backpressure: an unbounded queue would let distinct-spec floods grow
 	// memory without limit. Checked before the flight is registered, so no
 	// dedup waiter can attach to a submission that was never accepted.
@@ -265,6 +294,19 @@ func (s *Service) Submit(sp *scenario.Spec) (Result, error) {
 			// The canonical spec is indexed by hash so /extend can re-derive
 			// longer windows of a run from its content address alone.
 			spec, err = run.Canonical()
+		}
+		if err == nil && s.disk != nil {
+			// Spill to the durable store, report last: the report is the
+			// commit point the disk-fallback path keys on, so a crash between
+			// Puts leaves at worst auxiliary objects with no report — never a
+			// servable report whose spec cannot be re-derived. Put errors are
+			// swallowed: the disk plane accelerates restarts, it does not
+			// gate serving from memory.
+			s.disk.Put(store.KindSpec, hash, spec)
+			if series != nil {
+				s.disk.Put(store.KindSeries, hash, series)
+			}
+			s.disk.Put(store.KindReport, hash, data)
 		}
 		s.mu.Lock()
 		delete(s.inflight, hash)
@@ -339,13 +381,29 @@ func (s *Service) execute(sp *scenario.Spec) (*scenario.Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	if snap, measured, ok := s.snaps.get(prefix); ok && measured <= run.MeasureSec {
+	canon, err := run.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	snap, measured, spec, ok := s.snaps.get(prefix)
+	if !ok && s.disk != nil {
+		// Memory miss: a restarted service rehydrates the warm state a
+		// previous instance spilled to disk. Any failure — missing object,
+		// quarantined bytes, version or structure mismatch — falls through
+		// to a plain fresh run.
+		if snap, measured, spec, ok = s.diskSnapshot(prefix); ok {
+			s.mu.Lock()
+			s.stats.StoreHits++
+			s.mu.Unlock()
+		}
+	}
+	if ok && measured <= run.MeasureSec {
 		s.mu.Lock()
 		s.stats.SnapshotForks++
 		s.mu.Unlock()
 		sc := snap.Fork()
 		sc.Measure(run.MeasureSec - measured)
-		s.snaps.put(prefix, sc.Snapshot(), run.MeasureSec)
+		s.depositSnap(prefix, sc.Snapshot(), run.MeasureSec, spec)
 		return scenario.FromResult(run, hash, sc.EndMeasure()), nil
 	}
 	sc, err := run.Start()
@@ -357,7 +415,7 @@ func (s *Service) execute(sp *scenario.Spec) (*scenario.Report, error) {
 	sc.Measure(run.MeasureSec)
 	// Snapshot before closing the window: the stored state must be
 	// continuable, and EndMeasure only reads the accumulators.
-	s.snaps.put(prefix, sc.Snapshot(), run.MeasureSec)
+	s.depositSnap(prefix, sc.Snapshot(), run.MeasureSec, canon)
 	return scenario.FromResult(run, hash, sc.EndMeasure()), nil
 }
 
@@ -380,6 +438,13 @@ func (s *Service) Extend(hash string, measureSec float64) (Result, error) {
 	}
 	s.mu.Lock()
 	spec, ok := s.cache.specOf(hash)
+	if !ok && s.disk != nil {
+		// The run may predate this process: rehydrate its index entry from
+		// the durable store, then extend as if it had never left memory.
+		if _, dok := s.diskResultLocked(hash); dok {
+			spec, ok = s.cache.specOf(hash)
+		}
+	}
 	s.mu.Unlock()
 	if !ok {
 		return Result{}, ErrUnknownHash
@@ -407,45 +472,51 @@ type snapEntry struct {
 	key      string
 	snap     *harness.Snapshot
 	measured float64
+	spec     []byte // canonical spec of a run sharing the prefix, for snapshot shipping
 }
 
 func newSnapStore(capEntries int) *snapStore {
 	return &snapStore{cap: capEntries, ll: list.New(), items: make(map[string]*list.Element)}
 }
 
-// get returns the stored snapshot and its measured seconds. The snapshot is
-// immutable; callers fork it outside the store's lock.
-func (c *snapStore) get(key string) (*harness.Snapshot, float64, bool) {
+// get returns the stored snapshot, its measured seconds, and the canonical
+// spec it belongs to. The snapshot is immutable; callers fork it outside
+// the store's lock.
+func (c *snapStore) get(key string) (*harness.Snapshot, float64, []byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		return nil, 0, false
+		return nil, 0, nil, false
 	}
 	c.ll.MoveToFront(el)
 	e := el.Value.(*snapEntry)
-	return e.snap, e.measured, true
+	return e.snap, e.measured, e.spec, true
 }
 
 // put stores a snapshot unless a longer-measured one for the same prefix is
-// already resident (concurrent shorter runs must not clobber it).
-func (c *snapStore) put(key string, snap *harness.Snapshot, measured float64) {
+// already resident (concurrent shorter runs must not clobber it). It
+// reports whether the entry was stored or advanced — the signal the caller
+// uses to mirror the state to disk.
+func (c *snapStore) put(key string, snap *harness.Snapshot, measured float64, spec []byte) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		e := el.Value.(*snapEntry)
-		if measured >= e.measured {
-			e.snap, e.measured = snap, measured
+		advanced := measured >= e.measured
+		if advanced {
+			e.snap, e.measured, e.spec = snap, measured, spec
 		}
 		c.ll.MoveToFront(el)
-		return
+		return advanced
 	}
-	c.items[key] = c.ll.PushFront(&snapEntry{key: key, snap: snap, measured: measured})
+	c.items[key] = c.ll.PushFront(&snapEntry{key: key, snap: snap, measured: measured, spec: spec})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*snapEntry).key)
 	}
+	return true
 }
 
 func (c *snapStore) len() int {
@@ -460,7 +531,15 @@ func (c *snapStore) len() int {
 func (s *Service) Lookup(hash string) ([]byte, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.cache.get(hash)
+	if rep, ok := s.cache.get(hash); ok {
+		return rep, true
+	}
+	if s.disk != nil {
+		if res, ok := s.diskResultLocked(hash); ok {
+			return res.Report, true
+		}
+	}
+	return nil, false
 }
 
 // Series serves a cached run's per-second telemetry by content address.
@@ -470,7 +549,18 @@ func (s *Service) Lookup(hash string) ([]byte, bool) {
 func (s *Service) Series(hash string) ([]byte, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.cache.seriesOf(hash)
+	if series, ok := s.cache.seriesOf(hash); ok {
+		return series, true
+	}
+	// Only touch disk for hashes memory knows nothing about: a resident
+	// entry without a series means the run recorded none, and disk cannot
+	// know better.
+	if !s.cache.has(hash) && s.disk != nil {
+		if _, ok := s.diskResultLocked(hash); ok {
+			return s.cache.seriesOf(hash)
+		}
+	}
+	return nil, false
 }
 
 // Stats snapshots the counters.
@@ -481,6 +571,10 @@ func (s *Service) Stats() Stats {
 	s.mu.Unlock()
 	if s.snaps != nil {
 		st.SnapshotEntries = s.snaps.len()
+	}
+	if s.disk != nil {
+		st.StoreObjects = s.disk.Len()
+		st.StoreQuarantined = s.disk.Quarantined()
 	}
 	return st
 }
@@ -522,6 +616,12 @@ func (c *lruCache) specOf(key string) ([]byte, bool) {
 		return nil, false
 	}
 	return el.Value.(*lruEntry).spec, true
+}
+
+// has reports whether key is resident, without touching recency.
+func (c *lruCache) has(key string) bool {
+	_, ok := c.items[key]
+	return ok
 }
 
 // seriesOf returns the series stored beside key's report, refreshing

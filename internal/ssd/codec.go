@@ -1,0 +1,98 @@
+package ssd
+
+import (
+	"a4sim/internal/codec"
+	"a4sim/internal/pcm"
+)
+
+// EncodeState appends one command, including its private service progress.
+// Commands move between the array's queues and workload completion queues,
+// so both packages encode them through this one wire shape.
+func (c *Command) EncodeState(w *codec.Writer) {
+	w.U8(uint8(c.Op))
+	w.U64(c.Buf)
+	w.Int(c.Lines)
+	w.I64(int64(c.WL))
+	w.Int(c.Cookie)
+	w.F64(c.Submit)
+	w.F64(c.Complete)
+	w.Int(c.progress)
+	w.Int(c.overhead)
+}
+
+// DecodeCommand reads a command written by Command.EncodeState.
+func DecodeCommand(r *codec.Reader) *Command {
+	c := &Command{}
+	c.Op = Op(r.U8())
+	c.Buf = r.U64()
+	c.Lines = r.Int()
+	c.WL = pcm.WorkloadID(r.I64())
+	c.Cookie = r.Int()
+	c.Submit = r.F64()
+	c.Complete = r.F64()
+	c.progress = r.Int()
+	c.overhead = r.Int()
+	if r.Err() != nil {
+		return nil
+	}
+	return c
+}
+
+// encodeCommands appends a count-prefixed command list.
+func encodeCommands(w *codec.Writer, cmds []*Command) {
+	w.Int(len(cmds))
+	for _, c := range cmds {
+		c.EncodeState(w)
+	}
+}
+
+// decodeCommands reads a list written by encodeCommands.
+func decodeCommands(r *codec.Reader) []*Command {
+	n := r.Int()
+	if r.Err() != nil {
+		return nil
+	}
+	if n < 0 || n > r.Remaining() {
+		r.Failf("ssd: snapshot claims %d queued commands", n)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	cmds := make([]*Command, n)
+	for i := range cmds {
+		cmds[i] = DecodeCommand(r)
+		if r.Err() != nil {
+			return nil
+		}
+	}
+	return cmds
+}
+
+// EncodeState appends the array's dynamic state: in-flight and undrained
+// completed commands, the round-robin cursor, and lifetime service
+// counters. Configuration is structural.
+func (s *SSD) EncodeState(w *codec.Writer) {
+	encodeCommands(w, s.inflight)
+	encodeCommands(w, s.done)
+	w.Int(s.next)
+	w.I64(s.completedBytes)
+	w.I64(s.servicedCmds)
+}
+
+// DecodeState restores state written by EncodeState.
+func (s *SSD) DecodeState(r *codec.Reader) {
+	inflight := decodeCommands(r)
+	done := decodeCommands(r)
+	next := r.Int()
+	completedBytes := r.I64()
+	servicedCmds := r.I64()
+	if r.Err() != nil {
+		return
+	}
+	s.inflight = inflight
+	s.done = done
+	s.next = next
+	s.completedBytes = completedBytes
+	s.servicedCmds = servicedCmds
+}
