@@ -7,11 +7,14 @@ package a4sim_test
 
 import (
 	"testing"
+	"time"
 
 	"a4sim/internal/figures"
 	"a4sim/internal/harness"
 	"a4sim/internal/hierarchy"
+	"a4sim/internal/obs"
 	"a4sim/internal/pcm"
+	"a4sim/internal/stats"
 	"a4sim/internal/workload"
 )
 
@@ -243,6 +246,59 @@ func BenchmarkScenarioSecondSeries(b *testing.B) {
 	b.Run("on", func(b *testing.B) {
 		run(b, harness.SeriesOpts{Devices: true, Occupancy: true, Controller: true, Export: true})
 	})
+}
+
+// BenchmarkScenarioSecondObs prices the observability plane on one
+// simulated second with the full telemetry series enabled: "off" is the
+// bare measurement loop, "on" adds everything a traced, streamed, metered
+// request pays — a span per second, a latency-histogram observation, and
+// the series row hook publishing through a hub to one draining subscriber.
+// scripts/bench.sh records the relative difference as obs_overhead_pct;
+// the acceptance bound is <3%.
+func BenchmarkScenarioSecondObs(b *testing.B) {
+	run := func(b *testing.B, instrumented bool) {
+		p := harness.DefaultParams()
+		s := harness.NewScenario(p)
+		s.AddDPDK("dpdk-t", []int{0, 1, 2, 3}, true, workload.HPW)
+		s.AddFIO("fio", []int{4, 5, 6, 7}, 128<<10, 32, workload.LPW)
+		s.AddXMem("xmem", []int{8, 9}, 4<<20, workload.Sequential, false, workload.HPW)
+		s.Start(harness.Default())
+		s.Monitor.EnableSeries(harness.SeriesOpts{Devices: true, Occupancy: true, Controller: true, Export: true})
+		s.Warm(1)
+		s.BeginMeasure()
+		var (
+			tr   *obs.Trace
+			hist = stats.NewHistogram()
+		)
+		if instrumented {
+			tr = obs.NewTrace("bench")
+			hub := obs.NewSeriesHub()
+			pub := hub.Open("bench")
+			sub, _ := hub.Attach("bench")
+			drained := make(chan struct{})
+			go func() {
+				for range sub.C {
+				}
+				close(drained)
+			}()
+			b.Cleanup(func() { pub.Finish(nil); <-drained })
+			s.Monitor.SetRowHook(pub.Publish)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if instrumented {
+				sp := tr.Begin("measure")
+				t0 := time.Now()
+				s.Measure(1)
+				sp.End()
+				hist.Observe(time.Since(t0).Microseconds())
+			} else {
+				s.Measure(1)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
 }
 
 // --- sweep forking (snapshot/fork warm-state reuse) ---

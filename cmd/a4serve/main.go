@@ -51,6 +51,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -62,6 +63,7 @@ import (
 	"a4sim/internal/cluster"
 	"a4sim/internal/scenario"
 	"a4sim/internal/service"
+	"a4sim/internal/stats"
 	"a4sim/internal/store"
 )
 
@@ -82,6 +84,7 @@ func main() {
 	clients := flag.Int("clients", 8, "loadgen: concurrent clients")
 	fresh := flag.Float64("fresh", 0.25, "loadgen: fraction of requests with never-seen specs")
 	sweepN := flag.Int("sweepn", 0, "loadgen: POST one seed-axis sweep of this many points and print cluster_sweep_rps instead of hammering /run")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default: profiling endpoints expose heap contents)")
 	flag.Parse()
 
 	if *loadgen {
@@ -124,6 +127,16 @@ func main() {
 		mux = service.NewMux(svc, func() any { return svc.Stats() }, healthy.Load)
 		fmt.Printf("a4serve: listening on %s (workers=%d cache=%d mixes=%v)\n",
 			*addr, svc.Stats().Workers, *cacheEntries, scenario.BuiltinMixes())
+	}
+	if *pprofOn {
+		// Mounted on our mux, not http.DefaultServeMux, so the flag really
+		// gates the endpoints.
+		mux.HandleFunc("/debug/pprof/", netpprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+		fmt.Println("a4serve: pprof enabled at /debug/pprof/")
 	}
 	srv := &http.Server{
 		Addr:    *addr,
@@ -215,10 +228,16 @@ func runLoadgen(url string, n, clients int, freshFrac float64) int {
 		failures atomic.Int64
 		wg       sync.WaitGroup
 	)
+	// Per-client request-latency histograms, merged after the run: mergeable
+	// HDR buckets mean no cross-client synchronization on the hot path.
+	hists := make([]*stats.Histogram, clients)
+	for c := range hists {
+		hists[c] = stats.NewHistogram()
+	}
 	start := time.Now()
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
-		go func() {
+		go func(h *stats.Histogram) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
@@ -232,6 +251,7 @@ func runLoadgen(url string, n, clients int, freshFrac float64) int {
 					sp.Params.Seed = nonce + uint64(i)
 					body, _ = json.Marshal(sp)
 				}
+				t0 := time.Now()
 				resp, err := loadgenClient.Post(url+"/run", "application/json", bytes.NewReader(body))
 				if err != nil {
 					failures.Add(1)
@@ -239,16 +259,21 @@ func runLoadgen(url string, n, clients int, freshFrac float64) int {
 				}
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
+				h.Observe(time.Since(t0).Microseconds())
 				if resp.StatusCode == http.StatusOK {
 					okCount.Add(1)
 				} else {
 					failures.Add(1)
 				}
 			}
-		}()
+		}(hists[c])
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	lat := stats.NewHistogram()
+	for _, h := range hists {
+		lat.Merge(h)
+	}
 
 	statsAfter, _, err := fetchStats(url)
 	if err != nil {
@@ -265,6 +290,13 @@ func runLoadgen(url string, n, clients int, freshFrac float64) int {
 	// The headline metric counts only cache-served requests, so it tracks
 	// the serving path rather than simulation speed.
 	fmt.Printf("service_cached_rps=%.2f\n", float64(hits)/elapsed.Seconds())
+	if lat.Count() > 0 {
+		// End-to-end request latency as the client saw it (mixed population:
+		// cache hits and fresh executions together). Informational in
+		// bench.sh, not gated.
+		fmt.Printf("loadgen_p50_ms=%.3f\n", lat.Quantile(0.50)/1000)
+		fmt.Printf("loadgen_p99_ms=%.3f\n", lat.Quantile(0.99)/1000)
+	}
 	if failures.Load() > 0 {
 		return 1
 	}

@@ -8,9 +8,12 @@
 //
 //	a4top -secs 12 -block 128 -every 2 -last 8        # live scenario
 //	a4top -url http://localhost:8044 -hash <hash>      # served run's series
+//	a4top -url http://localhost:8044 -hash <hash> -follow   # stream live
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -29,6 +32,7 @@ func main() {
 	last := flag.Int("last", 8, "seconds of history per rendering")
 	url := flag.String("url", "", "remote: a4serve base URL (with -hash)")
 	hash := flag.String("hash", "", "remote: content address of a served run")
+	followFlag := flag.Bool("follow", false, "remote: attach to GET /series/<hash>/stream and render rows as they record")
 	flag.Parse()
 
 	if (*url == "") != (*hash == "") {
@@ -36,6 +40,9 @@ func main() {
 		os.Exit(2)
 	}
 	if *url != "" {
+		if *followFlag {
+			os.Exit(follow(*url, *hash, *last, *every))
+		}
 		os.Exit(remote(*url, *hash, *last))
 	}
 	os.Exit(live(*secs, *every, *block, *last))
@@ -109,6 +116,88 @@ func remote(url, hash string, last int) int {
 	}
 	render(os.Stdout, ser, last)
 	return 0
+}
+
+// follow attaches to a run's SSE stream and renders the growing series
+// every -every rows, then once more from the terminal event: a final series
+// for completed runs (rendered from the stored encoding, so what follow
+// shows last is exactly what GET /series serves), or an error for aborted
+// ones. Returns non-zero if the stream ends without a terminal event.
+func follow(url, hash string, last, every int) int {
+	resp, err := http.Get(strings.TrimRight(url, "/") + "/series/" + hash + "/stream")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "a4top:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		fmt.Fprintf(os.Stderr, "a4top: %s/series/%s/stream: status %d: %s\n", url, hash, resp.StatusCode, strings.TrimSpace(string(data)))
+		return 1
+	}
+	if every <= 0 {
+		every = 1
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var (
+		event string
+		ser   *stats.Series
+	)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := []byte(strings.TrimPrefix(line, "data: "))
+			switch event {
+			case "hello":
+				var h struct {
+					Columns []string `json:"columns"`
+				}
+				if err := json.Unmarshal(data, &h); err != nil {
+					fmt.Fprintln(os.Stderr, "a4top: bad hello:", err)
+					return 1
+				}
+				ser = stats.NewSeries(h.Columns...)
+			case "row":
+				var r struct {
+					Values []float64 `json:"values"`
+				}
+				if err := json.Unmarshal(data, &r); err != nil || ser == nil {
+					fmt.Fprintln(os.Stderr, "a4top: bad row event")
+					return 1
+				}
+				ser.Append(r.Values...)
+				if ser.Len()%every == 0 {
+					render(os.Stdout, ser, last)
+				}
+			case "series":
+				final, err := stats.DecodeSeries(data)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "a4top: bad final series:", err)
+					return 1
+				}
+				fmt.Printf("stream complete: %d rows\n", final.Len())
+				render(os.Stdout, final, last)
+				return 0
+			case "error":
+				var e struct {
+					Error string `json:"error"`
+				}
+				json.Unmarshal(data, &e)
+				fmt.Fprintln(os.Stderr, "a4top: stream error:", e.Error)
+				return 1
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "a4top: reading stream:", err)
+	} else {
+		fmt.Fprintln(os.Stderr, "a4top: stream ended without a terminal event")
+	}
+	return 1
 }
 
 // workloadNames derives the per-workload column blocks from the series'

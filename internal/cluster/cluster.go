@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"a4sim/internal/obs"
 	"a4sim/internal/scenario"
 	"a4sim/internal/service"
 )
@@ -57,6 +58,8 @@ type Coordinator struct {
 	backends    []*backend
 	client      *http.Client // run/extend/result traffic
 	probe       *http.Client // healthz and stats traffic, short timeout
+	stream      *http.Client // /series/<hash>/stream proxying: no timeout, streams run for the window's length
+	traces      *obs.Ring    // finished request traces, served merged with backend spans
 	reviveAfter time.Duration
 
 	mu          sync.Mutex
@@ -104,6 +107,8 @@ func New(cfg Config) (*Coordinator, error) {
 	c := &Coordinator{
 		client:      client,
 		probe:       &http.Client{Timeout: 10 * time.Second},
+		stream:      &http.Client{},
+		traces:      obs.NewRing(0),
 		reviveAfter: revive,
 		routes:      make(map[string]string),
 		owners:      make(map[string]string),
@@ -227,11 +232,24 @@ type wireResult struct {
 const maxResponseBytes = 16 << 20
 
 // call POSTs body to one backend and classifies the outcome. The bounded
-// per-backend queue is held for the duration of the request.
-func (c *Coordinator) call(b *backend, path string, body []byte) (service.Result, callClass, error) {
+// per-backend queue is held for the duration of the request. When tr is
+// non-nil the backend joins the request's trace: the trace ID travels in
+// the X-A4-Trace header, and the hop itself is recorded as a backend_call
+// span labeled with the backend URL.
+func (c *Coordinator) call(b *backend, path string, body []byte, tr *obs.Trace) (service.Result, callClass, error) {
 	b.slots <- struct{}{}
 	defer func() { <-b.slots }()
-	resp, err := c.client.Post(b.url+path, "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, b.url+path, bytes.NewReader(body))
+	if err != nil {
+		return service.Result{}, callTerminal, fmt.Errorf("cluster: backend %s: %w", b.url, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tr != nil {
+		req.Header.Set(obs.TraceHeader, tr.ID())
+	}
+	span := tr.Begin("backend_call").Annotate(b.url)
+	resp, err := c.client.Do(req)
+	span.End()
 	if err != nil {
 		return service.Result{}, callLost, fmt.Errorf("cluster: backend %s: %w", b.url, err)
 	}
@@ -318,15 +336,15 @@ func errorMessage(body []byte) string {
 // served this key, the previous owner's warm snapshot is shipped over
 // first, so reroutes and revivals continue from warm state instead of
 // re-simulating the prefix.
-func (c *Coordinator) submitKey(key, path string, body []byte) (service.Result, error) {
+func (c *Coordinator) submitKey(key, path string, body []byte, tr *obs.Trace) (service.Result, error) {
 	var lastErr, lastBusy error
 	sawLost := false
 	for _, b := range c.rendezvous(key) {
 		if !c.routable(b) {
 			continue
 		}
-		c.maybeHandoff(key, b)
-		res, class, err := c.call(b, path, body)
+		c.maybeHandoff(key, b, tr)
+		res, class, err := c.call(b, path, body, tr)
 		if class == callLost {
 			c.mu.Lock()
 			c.softRetries++
@@ -334,7 +352,7 @@ func (c *Coordinator) submitKey(key, path string, body []byte) (service.Result, 
 			// Jittered backoff so a fleet of coordinator goroutines does not
 			// re-hit a briefly-choking backend in lockstep.
 			time.Sleep(time.Duration(50+rand.Intn(100)) * time.Millisecond)
-			res, class, err = c.call(b, path, body)
+			res, class, err = c.call(b, path, body, tr)
 		}
 		switch class {
 		case callOK:
@@ -349,6 +367,7 @@ func (c *Coordinator) submitKey(key, path string, body []byte) (service.Result, 
 			c.mu.Lock()
 			c.reroutes++
 			c.mu.Unlock()
+			tr.Mark("reroute", b.url)
 			sawLost = true
 			lastErr = err
 		}
@@ -376,13 +395,15 @@ const maxSnapshotWireBytes = 64 << 20
 // target rejecting) just means target re-executes from scratch, which is
 // always correct. The short-timeout probe client bounds how long a dead
 // owner can stall the submission path.
-func (c *Coordinator) maybeHandoff(key string, target *backend) {
+func (c *Coordinator) maybeHandoff(key string, target *backend, tr *obs.Trace) {
 	c.mu.Lock()
 	owner := c.owners[key]
 	c.mu.Unlock()
 	if owner == "" || owner == target.url {
 		return
 	}
+	span := tr.Begin("snapshot_handoff").Annotate(target.url)
+	defer span.End()
 	resp, err := c.probe.Get(owner + "/snapshot/" + key)
 	if err != nil {
 		return
@@ -430,6 +451,17 @@ func (c *Coordinator) recordOwner(key, url string) {
 // same-prefix submissions — a /run, its /extend, the measure_sec rows of a
 // sweep — affinity to one backend's warm-snapshot LRU.
 func (c *Coordinator) Submit(sp *scenario.Spec) (service.Result, error) {
+	return c.submit(sp, nil)
+}
+
+// SubmitTraced is Submit with the request's trace threaded through routing:
+// handoffs, reroutes, and the backend hop itself all land in tr, and the
+// trace ID is forwarded so the owning backend's spans join the same trace.
+func (c *Coordinator) SubmitTraced(sp *scenario.Spec, tr *obs.Trace) (service.Result, error) {
+	return c.submit(sp, tr)
+}
+
+func (c *Coordinator) submit(sp *scenario.Spec, tr *obs.Trace) (service.Result, error) {
 	canon, _, prefix, err := sp.Digest()
 	if err == nil {
 		// Mirror the local serving policy before spending a network hop:
@@ -442,7 +474,7 @@ func (c *Coordinator) Submit(sp *scenario.Spec) (service.Result, error) {
 		c.mu.Unlock()
 		return service.Result{}, err
 	}
-	res, err := c.submitKey(prefix, "/run", canon)
+	res, err := c.submitKey(prefix, "/run", canon, tr)
 	if err == nil {
 		c.recordRoute(res.Hash, prefix)
 	}
@@ -456,6 +488,16 @@ func (c *Coordinator) Submit(sp *scenario.Spec) (service.Result, error) {
 // deterministic order, and only when every backend answers 404 does the
 // client see ErrUnknownHash.
 func (c *Coordinator) Extend(hash string, measureSec float64) (service.Result, error) {
+	return c.extend(hash, measureSec, nil)
+}
+
+// ExtendTraced is Extend carrying the request's trace through the fleet
+// probe, mirroring SubmitTraced.
+func (c *Coordinator) ExtendTraced(hash string, measureSec float64, tr *obs.Trace) (service.Result, error) {
+	return c.extend(hash, measureSec, tr)
+}
+
+func (c *Coordinator) extend(hash string, measureSec float64, tr *obs.Trace) (service.Result, error) {
 	body, err := json.Marshal(service.ExtendRequest{Hash: hash, MeasureSec: measureSec})
 	if err != nil {
 		return service.Result{}, err
@@ -473,7 +515,7 @@ func (c *Coordinator) Extend(hash string, measureSec float64) (service.Result, e
 			incomplete = true
 			continue
 		}
-		res, class, err := c.call(b, "/extend", body)
+		res, class, err := c.call(b, "/extend", body, tr)
 		switch class {
 		case callOK:
 			// The extended run shares the original's prefix, so it lives
@@ -495,6 +537,7 @@ func (c *Coordinator) Extend(hash string, measureSec float64) (service.Result, e
 				c.mu.Lock()
 				c.reroutes++
 				c.mu.Unlock()
+				tr.Mark("reroute", b.url)
 			}
 			incomplete = true
 			lastErr = err
@@ -687,6 +730,7 @@ func (c *Coordinator) Stats() Stats {
 		out.StoreHits += bs.Stats.StoreHits
 		out.StoreObjects += bs.Stats.StoreObjects
 		out.StoreQuarantined += bs.Stats.StoreQuarantined
+		out.TraceDropped += bs.Stats.TraceDropped
 	}
 	c.mu.Lock()
 	out.Reroutes = c.reroutes

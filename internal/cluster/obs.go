@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"a4sim/internal/obs"
+	"a4sim/internal/service"
+)
+
+// The coordinator's observability surface: the same optional interfaces the
+// mux probes on a local service (Tracer, EventsSource, MetricsWriter,
+// SeriesStreamer), implemented by delegation. Traces merge the coordinator's
+// routing spans with the owning backend's execution spans (joined over the
+// wire by the X-A4-Trace header); events and streams proxy to the backend
+// that ran the request; metrics expose the fleet sum next to a per-backend
+// breakdown.
+
+// TraceRing exposes the coordinator's finished-request traces to the mux.
+func (c *Coordinator) TraceRing() *obs.Ring { return c.traces }
+
+// TraceJSON assembles the full cross-host trace for id: the coordinator's
+// own spans (queue, handoff, backend_call, reroute) plus the spans each
+// contacted backend recorded under the same trace ID. Backend spans carry
+// microsecond offsets from that backend's own request start, so within one
+// backend_call they nest exactly; across hosts ordering is by each host's
+// local clock. Backend fetches are best-effort over the probe client — a
+// dead backend costs its spans, never the trace.
+func (c *Coordinator) TraceJSON(id string) ([]byte, bool) {
+	t, ok := c.traces.Get(id)
+	if !ok {
+		return nil, false
+	}
+	spans := t.Snapshot()
+	// One fetch per distinct backend this request touched, in first-contact
+	// order.
+	var urls []string
+	seen := map[string]bool{}
+	for _, sp := range spans {
+		if sp.Name == "backend_call" && sp.Backend != "" && !seen[sp.Backend] {
+			seen[sp.Backend] = true
+			urls = append(urls, sp.Backend)
+		}
+	}
+	for _, url := range urls {
+		remote, ok := c.fetchTrace(url, id)
+		if !ok {
+			continue
+		}
+		for i := range remote {
+			if remote[i].Backend == "" {
+				remote[i].Backend = url
+			}
+		}
+		spans = append(spans, remote...)
+	}
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].StartUs < spans[j].StartUs })
+	return obs.EncodeTrace(id, spans), true
+}
+
+func (c *Coordinator) fetchTrace(url, id string) ([]obs.Span, bool) {
+	resp, err := c.probe.Get(url + "/trace/" + id)
+	if err != nil {
+		return nil, false
+	}
+	data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	resp.Body.Close()
+	if rerr != nil || resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	_, spans, err := obs.DecodeTrace(data)
+	if err != nil {
+		return nil, false
+	}
+	return spans, true
+}
+
+// TraceEvents proxies a cached run's simulator event log from the backend
+// that executed it, routed exactly like Series.
+func (c *Coordinator) TraceEvents(hash string, n int) ([]byte, bool) {
+	path := "/trace/events/"
+	if n > 0 {
+		return c.fetchByHash(path, fmt.Sprintf("%s?n=%d", hash, n))
+	}
+	return c.fetchByHash(path, hash)
+}
+
+// ServeSeriesStream proxies the live (or replayed) series stream from the
+// backend owning hash. The proxy request is bound to the client's context,
+// so a subscriber disconnecting tears down the backend leg too, and every
+// read is flushed through immediately to preserve the 1 Hz cadence. A 404
+// falls through to the next backend in rendezvous order, mirroring Series.
+func (c *Coordinator) ServeSeriesStream(w http.ResponseWriter, req *http.Request, hash string) {
+	key, known := c.routeOf(hash)
+	if !known {
+		key = hash
+	}
+	for _, b := range c.rendezvous(key) {
+		if !c.routable(b) {
+			continue
+		}
+		preq, err := http.NewRequestWithContext(req.Context(), http.MethodGet, b.url+"/series/"+hash+"/stream", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := c.stream.Do(preq)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, maxResponseBytes))
+			resp.Body.Close()
+			continue
+		}
+		defer resp.Body.Close()
+		copyStream(w, resp.Body)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusNotFound)
+	json.NewEncoder(w).Encode(map[string]string{"error": "no series for " + hash + " on any backend"})
+}
+
+// copyStream relays SSE bytes, flushing after every read so frames are not
+// pooled in the proxy's buffers.
+func copyStream(w http.ResponseWriter, r io.Reader) {
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	f, _ := w.(http.Flusher)
+	if f != nil {
+		f.Flush()
+	}
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if f != nil {
+				f.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// WriteMetrics exposes the fleet in one scrape: every service family first
+// as an unlabeled fleet sum (so dashboards built against a single node read
+// a coordinator identically), then once per reachable backend with a
+// backend label, followed by the coordinator's own routing counters.
+func (c *Coordinator) WriteMetrics(w io.Writer) {
+	st := c.Stats()
+	rows := []service.LabeledStats{{Stats: st.Stats}}
+	for _, bs := range st.Backends {
+		if bs.Reachable {
+			rows = append(rows, service.LabeledStats{Labels: obs.Label("backend", bs.URL), Stats: bs.Stats})
+		}
+	}
+	service.WriteStatsProm(w, rows)
+	e := obs.NewExpo(w)
+	e.Family("a4_backend_up", "gauge")
+	for _, bs := range st.Backends {
+		up := 0.0
+		if bs.Reachable {
+			up = 1.0
+		}
+		e.Val("a4_backend_up", obs.Label("backend", bs.URL), up)
+	}
+	for _, f := range []struct {
+		name string
+		v    uint64
+	}{
+		{"a4_cluster_reroutes_total", st.Reroutes},
+		{"a4_cluster_soft_retries_total", st.SoftRetries},
+		{"a4_cluster_snapshot_handoffs_total", st.SnapshotHandoffs},
+		{"a4_cluster_rejected_total", st.Rejected},
+	} {
+		e.Family(f.name, "counter")
+		e.Val(f.name, "", float64(f.v))
+	}
+	e.Family("a4_traces", "gauge")
+	e.Val("a4_traces", "", float64(c.traces.Len()))
+	e.Family("a4_trace_ring_dropped_total", "counter")
+	e.Val("a4_trace_ring_dropped_total", "", float64(c.traces.Dropped()))
+}

@@ -28,7 +28,19 @@ type Monitor struct {
 	opts       SeriesOpts
 
 	progressMark map[pcm.WorkloadID]int64
+
+	// rowHook, when set, is called after each appended series row with the
+	// window's live series — the streaming plane's per-second tap. It is
+	// deliberately not carried by fork: a forked scenario (a cached warm
+	// snapshot continuing under a new request) must not publish into the
+	// original request's stream, so whoever forks attaches its own hook.
+	rowHook func(*stats.Series)
 }
+
+// SetRowHook installs (or, with nil, removes) the per-second row callback.
+// The hook runs on the simulating goroutine after each second's row is
+// appended, so it must be cheap and non-blocking.
+func (m *Monitor) SetRowHook(hook func(*stats.Series)) { m.rowHook = hook }
 
 // SeriesOpts selects the telemetry plane's extended per-second columns.
 // The core columns (per-workload rates/IPC/IO, memory and port bandwidth,
@@ -235,6 +247,9 @@ func (m *Monitor) OnSecond(now sim.Tick) {
 		row[w.a4Base+3] = float64(r)
 	}
 	w.series.Append(row...)
+	if m.rowHook != nil {
+		m.rowHook(w.series)
+	}
 }
 
 // newWindow lays out the window's columns. The order is deterministic —

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"sync"
+
+	"a4sim/internal/stats"
+)
+
+// SeriesHub fans a running scenario's per-second series rows out to live
+// SSE subscribers. The executing worker publishes (one call per simulated
+// second, from the monitor's row hook); any number of subscribers attach
+// by the run's content hash and replay from row 0 — the hub keeps every
+// published row for the run's lifetime, which is bounded by the window cap
+// (MaxWindowSec rows), so late attachers see exactly the rows early ones
+// did and the streamed bytes can match the stored series bit for bit.
+type SeriesHub struct {
+	mu   sync.Mutex
+	runs map[string]*liveSeries
+}
+
+// SeriesMsg is one hub message. Exactly one field group is meaningful:
+// Names announces the column layout (sent once, when the first row makes
+// it known), Row carries one appended row, and a terminal message carries
+// either Final (the stored series' canonical bytes — the byte-identity
+// anchor) or Err. A closed channel without a terminal message means the
+// subscriber was dropped for falling behind.
+type SeriesMsg struct {
+	Names []string
+	Row   []float64
+	Final []byte
+	Err   string
+	End   bool
+}
+
+// subBuffer is each subscriber's channel depth: enough for a maximum-length
+// window (scenario.MaxWindowSec = 3600 rows) plus control messages, so only
+// a subscriber that stops reading entirely can overflow and be dropped.
+const subBuffer = 4096
+
+type liveSeries struct {
+	mu    sync.Mutex
+	named bool
+	names []string
+	rows  [][]float64
+	done  bool
+	subs  map[int]chan SeriesMsg
+	next  int
+}
+
+// NewSeriesHub returns an empty hub.
+func NewSeriesHub() *SeriesHub {
+	return &SeriesHub{runs: make(map[string]*liveSeries)}
+}
+
+// SeriesPub is the publishing side of one run's stream.
+type SeriesPub struct {
+	hub *SeriesHub
+	key string
+	run *liveSeries
+}
+
+// Open registers a run about to execute and returns its publisher. A key
+// already open (a racing duplicate execution — impossible through the
+// service's singleflight, but the hub does not depend on that) returns the
+// existing run's publisher.
+func (h *SeriesHub) Open(key string) *SeriesPub {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	run, ok := h.runs[key]
+	if !ok {
+		run = &liveSeries{subs: make(map[int]chan SeriesMsg)}
+		h.runs[key] = run
+	}
+	return &SeriesPub{hub: h, key: key, run: run}
+}
+
+// SeriesSub is one attached subscriber: the column layout and rows
+// published before the attach (for replay), then live messages on C.
+type SeriesSub struct {
+	Names  []string
+	Replay [][]float64
+	C      <-chan SeriesMsg
+
+	run *liveSeries
+	id  int
+}
+
+// Attach subscribes to a run in flight. It returns false when no run is
+// live under key — the caller then serves the stored series instead.
+func (h *SeriesHub) Attach(key string) (*SeriesSub, bool) {
+	h.mu.Lock()
+	run, ok := h.runs[key]
+	h.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	run.mu.Lock()
+	defer run.mu.Unlock()
+	if run.done {
+		// Finish raced our map lookup; the stored series is already
+		// servable, so report no live run.
+		return nil, false
+	}
+	ch := make(chan SeriesMsg, subBuffer)
+	id := run.next
+	run.next++
+	run.subs[id] = ch
+	sub := &SeriesSub{
+		Names: append([]string(nil), run.names...),
+		C:     ch,
+		run:   run,
+		id:    id,
+	}
+	for _, row := range run.rows {
+		sub.Replay = append(sub.Replay, append([]float64(nil), row...))
+	}
+	return sub, true
+}
+
+// Close detaches the subscriber; safe to call after the stream ended.
+func (s *SeriesSub) Close() {
+	s.run.mu.Lock()
+	if ch, ok := s.run.subs[s.id]; ok {
+		delete(s.run.subs, s.id)
+		close(ch)
+	}
+	s.run.mu.Unlock()
+}
+
+// Publish broadcasts every series row beyond what was already published.
+// Catch-up semantics (rather than "append one row") make the fork path
+// free: a run continued from a warm snapshot publishes its inherited
+// prefix rows with one call, then per-second rows as they append. The
+// series is read under the run's lock but not retained.
+func (p *SeriesPub) Publish(s *stats.Series) {
+	if s == nil {
+		return
+	}
+	r := p.run
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done {
+		return
+	}
+	if !r.named {
+		r.named = true
+		r.names = s.Names()
+		r.broadcast(SeriesMsg{Names: append([]string(nil), r.names...)})
+	}
+	for i := len(r.rows); i < s.Len(); i++ {
+		row := s.Row(i, nil)
+		r.rows = append(r.rows, row)
+		r.broadcast(SeriesMsg{Row: row})
+	}
+}
+
+// Finish ends the stream normally: final is the stored series' canonical
+// bytes, handed to every subscriber as the terminal message so a streamed
+// view can verify byte-identity against GET /series. The run is removed
+// from the hub first, so a concurrent Attach either joins before (and gets
+// the terminal message) or misses and reads the stored series.
+func (p *SeriesPub) Finish(final []byte) {
+	p.end(SeriesMsg{Final: final, End: true})
+}
+
+// Abort ends the stream with an error (the execution failed); subscribers
+// see a terminal error message.
+func (p *SeriesPub) Abort(msg string) {
+	p.end(SeriesMsg{Err: msg, End: true})
+}
+
+func (p *SeriesPub) end(terminal SeriesMsg) {
+	p.hub.mu.Lock()
+	if p.hub.runs[p.key] == p.run {
+		delete(p.hub.runs, p.key)
+	}
+	p.hub.mu.Unlock()
+	r := p.run
+	r.mu.Lock()
+	if !r.done {
+		r.done = true
+		r.broadcast(terminal)
+		for id, ch := range r.subs {
+			delete(r.subs, id)
+			close(ch)
+		}
+	}
+	r.mu.Unlock()
+}
+
+// broadcast sends to every subscriber without blocking: one that stopped
+// draining (buffer full) is dropped — its channel closes with no terminal
+// message, which the SSE layer reports as a dropped stream. Called with
+// run.mu held.
+func (r *liveSeries) broadcast(msg SeriesMsg) {
+	for id, ch := range r.subs {
+		select {
+		case ch <- msg:
+		default:
+			delete(r.subs, id)
+			close(ch)
+		}
+	}
+}
+
+// Live reports whether a run is currently streaming under key.
+func (h *SeriesHub) Live(key string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, ok := h.runs[key]
+	return ok
+}

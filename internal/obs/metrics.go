@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"a4sim/internal/stats"
+)
+
+// Expo writes the Prometheus text exposition format (version 0.0.4) by
+// hand — no client library, matching the repo's no-new-deps rule. Families
+// are written in call order; a scrape's layout is therefore a pure
+// function of the metric sources, which keeps /metrics diffable in tests.
+type Expo struct {
+	w io.Writer
+}
+
+// NewExpo wraps w for exposition.
+func NewExpo(w io.Writer) *Expo { return &Expo{w: w} }
+
+// Label renders one escaped k="v" label pair.
+func Label(k, v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return k + `="` + r.Replace(v) + `"`
+}
+
+// JoinLabels combines label pairs, skipping empties.
+func JoinLabels(pairs ...string) string {
+	var nonEmpty []string
+	for _, p := range pairs {
+		if p != "" {
+			nonEmpty = append(nonEmpty, p)
+		}
+	}
+	return strings.Join(nonEmpty, ",")
+}
+
+// Family writes a family's # TYPE header (typ is "counter", "gauge", or
+// "histogram").
+func (e *Expo) Family(name, typ string) {
+	fmt.Fprintf(e.w, "# TYPE %s %s\n", name, typ)
+}
+
+// Val writes one sample line; labels is a pre-rendered pair list ("" for
+// none).
+func (e *Expo) Val(name, labels string, v float64) {
+	if labels != "" {
+		name += "{" + labels + "}"
+	}
+	fmt.Fprintf(e.w, "%s %s\n", name, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// Hist writes one histogram family with a single label set: the TYPE
+// header, cumulative _bucket lines at the histogram's power-of-two
+// boundaries, then _sum and _count. scale divides recorded units into
+// seconds (1e6 for microsecond-recorded histograms), per the Prometheus
+// convention that duration histograms expose seconds.
+func (e *Expo) Hist(name, labels string, h *stats.Histogram, scale float64) {
+	e.Family(name, "histogram")
+	e.HistVals(name, labels, h, scale)
+}
+
+// HistVals writes one label set's _bucket/_sum/_count lines without the
+// TYPE header, for families exposed across several label sets.
+func (e *Expo) HistVals(name, labels string, h *stats.Histogram, scale float64) {
+	bounds, cum := h.Cumulative()
+	for i, b := range bounds {
+		le := Label("le", strconv.FormatFloat(float64(b)/scale, 'g', -1, 64))
+		e.Val(name+"_bucket", JoinLabels(labels, le), float64(cum[i]))
+	}
+	e.Val(name+"_bucket", JoinLabels(labels, `le="+Inf"`), float64(h.Count()))
+	e.Val(name+"_sum", labels, float64(h.Sum())/scale)
+	e.Val(name+"_count", labels, float64(h.Count()))
+}
+
+// HTTPMetrics records per-endpoint request durations into histograms and
+// exposes them as one labeled family. The mux wraps its handlers with
+// Observe; WriteProm runs at scrape time on clones, so recording never
+// waits on a scrape.
+type HTTPMetrics struct {
+	mu    sync.Mutex
+	order []string
+	hists map[string]*stats.Histogram
+}
+
+// NewHTTPMetrics returns an empty recorder.
+func NewHTTPMetrics() *HTTPMetrics {
+	return &HTTPMetrics{hists: make(map[string]*stats.Histogram)}
+}
+
+// Observe records one request's duration under its endpoint label.
+func (m *HTTPMetrics) Observe(endpoint string, d time.Duration) {
+	m.mu.Lock()
+	h, ok := m.hists[endpoint]
+	if !ok {
+		h = stats.NewHistogram()
+		m.hists[endpoint] = h
+		m.order = append(m.order, endpoint)
+	}
+	h.Observe(d.Microseconds())
+	m.mu.Unlock()
+}
+
+// Quantile returns one endpoint's latency quantile in microseconds (0 when
+// the endpoint was never hit).
+func (m *HTTPMetrics) Quantile(endpoint string, p float64) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.hists[endpoint]
+	if !ok {
+		return 0
+	}
+	return h.Quantile(p)
+}
+
+// WriteProm writes the a4_http_request_duration_seconds family, one label
+// set per endpoint in first-observed order.
+func (m *HTTPMetrics) WriteProm(w io.Writer) {
+	m.mu.Lock()
+	order := append([]string(nil), m.order...)
+	clones := make(map[string]*stats.Histogram, len(m.hists))
+	for ep, h := range m.hists {
+		clones[ep] = h.Clone()
+	}
+	m.mu.Unlock()
+	if len(order) == 0 {
+		return
+	}
+	e := NewExpo(w)
+	const name = "a4_http_request_duration_seconds"
+	e.Family(name, "histogram")
+	for _, ep := range order {
+		e.HistVals(name, Label("endpoint", ep), clones[ep], 1e6)
+	}
+}
+
+// Timed wraps an HTTP handler to record its duration under endpoint.
+func (m *HTTPMetrics) Timed(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		h(w, req)
+		m.Observe(endpoint, time.Since(start))
+	}
+}

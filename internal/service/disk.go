@@ -33,7 +33,7 @@ func (s *Service) diskResultLocked(hash string) (Result, bool) {
 	spec, _ := s.disk.Get(store.KindSpec, hash)
 	series, _ := s.disk.Get(store.KindSeries, hash)
 	s.stats.StoreHits++
-	s.cache.put(hash, data, spec, series)
+	s.cache.put(hash, data, spec, series, nil)
 	return Result{Hash: hash, Cached: true, Report: data}, true
 }
 

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
+	"a4sim/internal/obs"
 	"a4sim/internal/scenario"
 )
 
@@ -30,6 +32,43 @@ type SnapshotStore interface {
 // at the Skylake geometry; the cap only has to stop memory exhaustion.
 const maxSnapshotBytes = 64 << 20
 
+// Tracer is the optional per-request tracing surface a Runner may
+// implement (both the local Service and the cluster Coordinator do). When
+// present, every /run and /extend is traced — the ID minted here or
+// accepted from the request's X-A4-Trace header, so a coordinator's hop to
+// a backend joins one trace — and the mux serves GET /trace/<id> and
+// GET /traces?n=K from the ring.
+type Tracer interface {
+	SubmitTraced(*scenario.Spec, *obs.Trace) (Result, error)
+	ExtendTraced(string, float64, *obs.Trace) (Result, error)
+	TraceRing() *obs.Ring
+	// TraceJSON serves a retained trace's canonical body; a coordinator
+	// merges in the spans of every backend the trace touched.
+	TraceJSON(id string) ([]byte, bool)
+}
+
+// EventsSource is the optional controller-event surface: the canonical
+// event-log JSON recorded when a cached run executed, for
+// GET /trace/events/<hash>.
+type EventsSource interface {
+	TraceEvents(hash string, n int) ([]byte, bool)
+}
+
+// MetricsWriter is the optional Prometheus exposition surface for
+// GET /metrics; the mux appends its own per-endpoint request-duration
+// histograms after the Runner's families.
+type MetricsWriter interface {
+	WriteMetrics(w io.Writer)
+}
+
+// SeriesStreamer is the optional live-series surface for
+// GET /series/<hash>/stream: SSE rows while the run executes, stored-series
+// replay afterwards. A coordinator implements it by proxying the owning
+// backend's stream.
+type SeriesStreamer interface {
+	ServeSeriesStream(w http.ResponseWriter, req *http.Request, hash string)
+}
+
 // NewMux serves r over the a4serve HTTP API. stats supplies the /stats
 // payload: a Stats for a local service, a merged cluster view for a
 // coordinator. healthy, when non-nil, gates /healthz: a false return serves
@@ -37,7 +76,30 @@ const maxSnapshotBytes = 64 << 20
 // route elsewhere before its listener closes.
 func NewMux(r Runner, stats func() any, healthy func() bool) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /run", func(w http.ResponseWriter, req *http.Request) {
+	tc, _ := r.(Tracer)
+	// Per-endpoint request-duration histograms, exposed by /metrics.
+	hm := obs.NewHTTPMetrics()
+	// beginTrace starts a request's trace (joining the inbound header's ID
+	// when valid) and echoes the ID so clients can fetch the trace back;
+	// endTrace records it in the ring, errors included — a failed request's
+	// timing is exactly what traces are for.
+	beginTrace := func(w http.ResponseWriter, req *http.Request) *obs.Trace {
+		if tc == nil {
+			return nil
+		}
+		id := req.Header.Get(obs.TraceHeader)
+		if !obs.ValidID(id) {
+			id = obs.NewID()
+		}
+		w.Header().Set(obs.TraceHeader, id)
+		return obs.NewTrace(id)
+	}
+	endTrace := func(tr *obs.Trace) {
+		if tr != nil {
+			tc.TraceRing().Add(tr)
+		}
+	}
+	mux.HandleFunc("POST /run", hm.Timed("run", func(w http.ResponseWriter, req *http.Request) {
 		body, err := readBody(w, req)
 		if err != nil {
 			httpError(w, bodyErrStatus(err), err.Error())
@@ -48,16 +110,23 @@ func NewMux(r Runner, stats func() any, healthy func() bool) *http.ServeMux {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
+		tr := beginTrace(w, req)
+		defer endTrace(tr)
 		// No explicit Validate here: Submit's hashing validates the spec
 		// and StatusForErr maps the rejection to 422.
-		res, err := r.Submit(sp)
+		var res Result
+		if tc != nil {
+			res, err = tc.SubmitTraced(sp, tr)
+		} else {
+			res, err = r.Submit(sp)
+		}
 		if err != nil {
 			httpError(w, StatusForErr(err), err.Error())
 			return
 		}
 		writeResult(w, res)
-	})
-	mux.HandleFunc("POST /extend", func(w http.ResponseWriter, req *http.Request) {
+	}))
+	mux.HandleFunc("POST /extend", hm.Timed("extend", func(w http.ResponseWriter, req *http.Request) {
 		body, err := readBody(w, req)
 		if err != nil {
 			httpError(w, bodyErrStatus(err), err.Error())
@@ -68,14 +137,21 @@ func NewMux(r Runner, stats func() any, healthy func() bool) *http.ServeMux {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		res, err := r.Extend(er.Hash, er.MeasureSec)
+		tr := beginTrace(w, req)
+		defer endTrace(tr)
+		var res Result
+		if tc != nil {
+			res, err = tc.ExtendTraced(er.Hash, er.MeasureSec, tr)
+		} else {
+			res, err = r.Extend(er.Hash, er.MeasureSec)
+		}
 		if err != nil {
 			httpError(w, StatusForErr(err), err.Error())
 			return
 		}
 		writeResult(w, res)
-	})
-	mux.HandleFunc("POST /sweep", func(w http.ResponseWriter, req *http.Request) {
+	}))
+	mux.HandleFunc("POST /sweep", hm.Timed("sweep", func(w http.ResponseWriter, req *http.Request) {
 		body, err := readBody(w, req)
 		if err != nil {
 			httpError(w, bodyErrStatus(err), err.Error())
@@ -101,8 +177,8 @@ func NewMux(r Runner, stats func() any, healthy func() bool) *http.ServeMux {
 			}
 		}
 		writeJSON(w, map[string]any{"points": out})
-	})
-	mux.HandleFunc("GET /result/{hash}", func(w http.ResponseWriter, req *http.Request) {
+	}))
+	mux.HandleFunc("GET /result/{hash}", hm.Timed("result", func(w http.ResponseWriter, req *http.Request) {
 		hash := req.PathValue("hash")
 		rep, ok := r.Lookup(hash)
 		if !ok {
@@ -111,8 +187,8 @@ func NewMux(r Runner, stats func() any, healthy func() bool) *http.ServeMux {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(rep)
-	})
-	mux.HandleFunc("GET /series/{hash}", func(w http.ResponseWriter, req *http.Request) {
+	}))
+	mux.HandleFunc("GET /series/{hash}", hm.Timed("series", func(w http.ResponseWriter, req *http.Request) {
 		hash := req.PathValue("hash")
 		series, ok := r.Series(hash)
 		if !ok {
@@ -121,7 +197,7 @@ func NewMux(r Runner, stats func() any, healthy func() bool) *http.ServeMux {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(series)
-	})
+	}))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
 		if healthy != nil && !healthy() {
 			httpError(w, http.StatusServiceUnavailable, "draining")
@@ -132,6 +208,59 @@ func NewMux(r Runner, stats func() any, healthy func() bool) *http.ServeMux {
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, stats())
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if mw, ok := r.(MetricsWriter); ok {
+			mw.WriteMetrics(w)
+		}
+		hm.WriteProm(w)
+	})
+	if sr, ok := r.(SeriesStreamer); ok {
+		// Go 1.22 mux: the /stream suffix pattern is more specific than
+		// GET /series/{hash}, so both routes coexist.
+		mux.HandleFunc("GET /series/{hash}/stream", func(w http.ResponseWriter, req *http.Request) {
+			sr.ServeSeriesStream(w, req, req.PathValue("hash"))
+		})
+	}
+	if es, ok := r.(EventsSource); ok {
+		mux.HandleFunc("GET /trace/events/{hash}", func(w http.ResponseWriter, req *http.Request) {
+			hash := req.PathValue("hash")
+			n, _ := strconv.Atoi(req.URL.Query().Get("n"))
+			data, ok := es.TraceEvents(hash, n)
+			if !ok {
+				httpError(w, http.StatusNotFound, "no event log for "+hash+" (unknown hash, evicted, or rehydrated from disk)")
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(data)
+		})
+	}
+	if tc != nil {
+		mux.HandleFunc("GET /trace/{id}", func(w http.ResponseWriter, req *http.Request) {
+			data, ok := tc.TraceJSON(req.PathValue("id"))
+			if !ok {
+				httpError(w, http.StatusNotFound, "no retained trace "+req.PathValue("id"))
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(data)
+		})
+		mux.HandleFunc("GET /traces", func(w http.ResponseWriter, req *http.Request) {
+			n, _ := strconv.Atoi(req.URL.Query().Get("n"))
+			if n <= 0 {
+				n = 16
+			}
+			if n > 128 {
+				n = 128
+			}
+			recent := tc.TraceRing().Recent(n)
+			bodies := make([]json.RawMessage, len(recent))
+			for i, t := range recent {
+				bodies[i] = t.JSON()
+			}
+			writeJSON(w, map[string]any{"traces": bodies})
+		})
+	}
 	if ss, ok := r.(SnapshotStore); ok {
 		mux.HandleFunc("GET /snapshot/{prefix}", func(w http.ResponseWriter, req *http.Request) {
 			data, ok := ss.SnapshotBytes(req.PathValue("prefix"))

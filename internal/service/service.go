@@ -14,10 +14,14 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"a4sim/internal/harness"
+	"a4sim/internal/obs"
 	"a4sim/internal/scenario"
+	"a4sim/internal/stats"
 	"a4sim/internal/store"
+	"a4sim/internal/trace"
 )
 
 // Config sizes the service.
@@ -44,6 +48,9 @@ type Config struct {
 	// restarted service rehydrates from it. Nil means memory-only serving,
 	// exactly as before the store existed.
 	Store *store.Store
+	// TraceEntries caps the finished-request trace ring served by
+	// GET /trace/<id> and /traces. 0 means 256.
+	TraceEntries int
 }
 
 // Stats are the service's monotonic counters, served by /stats.
@@ -69,6 +76,11 @@ type Stats struct {
 	StoreHits        uint64 `json:"store_hits"`
 	StoreObjects     int    `json:"store_objects"`
 	StoreQuarantined int64  `json:"store_quarantined"`
+
+	// TraceDropped sums the controller event-log drops across executions:
+	// events lost to each run's bounded ring. Nonzero means
+	// GET /trace/events/<hash> tails are incomplete for some runs.
+	TraceDropped int64 `json:"trace_dropped"`
 }
 
 // Result is one served submission.
@@ -114,6 +126,15 @@ type Service struct {
 	// disk is the durable object store under the in-memory caches; nil when
 	// the service runs memory-only.
 	disk *store.Store
+
+	// queueWait records each job's enqueue-to-start wait (µs), guarded by
+	// s.mu like the counters it sits beside.
+	queueWait *stats.Histogram
+	// traces retains finished request traces for GET /trace/<id>; streams
+	// fans live series rows out to GET /series/<hash>/stream subscribers.
+	// Both have their own (short-hold) locks.
+	traces  *obs.Ring
+	streams *obs.SeriesHub
 }
 
 // New starts a service with cfg's pool and cache.
@@ -131,11 +152,14 @@ func New(cfg Config) *Service {
 		maxQueue = MaxSweepPoints
 	}
 	s := &Service{
-		workers:  w,
-		maxQueue: maxQueue,
-		inflight: make(map[string]*flight),
-		cache:    newLRUCache(entries),
-		disk:     cfg.Store,
+		workers:   w,
+		maxQueue:  maxQueue,
+		inflight:  make(map[string]*flight),
+		cache:     newLRUCache(entries),
+		disk:      cfg.Store,
+		queueWait: stats.NewHistogram(),
+		traces:    obs.NewRing(cfg.TraceEntries),
+		streams:   obs.NewSeriesHub(),
 	}
 	if cfg.SnapshotEntries >= 0 {
 		se := cfg.SnapshotEntries
@@ -213,6 +237,30 @@ func (e *RunError) Unwrap() error { return e.Err }
 // Submit runs one spec, serving from the cache or an in-flight duplicate
 // when possible. It blocks until the report is available.
 func (s *Service) Submit(sp *scenario.Spec) (Result, error) {
+	return s.submit(sp, nil)
+}
+
+// SubmitTraced is Submit with per-request span recording: the serving
+// path's seams (queue wait, warm, measure, store reads and writes,
+// snapshot forks) are timed into tr. A nil trace costs one nil check per
+// seam, so Submit simply passes nil.
+func (s *Service) SubmitTraced(sp *scenario.Spec, tr *obs.Trace) (Result, error) {
+	return s.submit(sp, tr)
+}
+
+// TraceRing exposes the finished-request trace ring to the HTTP layer.
+func (s *Service) TraceRing() *obs.Ring { return s.traces }
+
+// TraceJSON serves a retained trace's canonical body by ID.
+func (s *Service) TraceJSON(id string) ([]byte, bool) {
+	t, ok := s.traces.Get(id)
+	if !ok {
+		return nil, false
+	}
+	return t.JSON(), true
+}
+
+func (s *Service) submit(sp *scenario.Spec, tr *obs.Trace) (Result, error) {
 	hash, err := sp.Hash()
 	if err == nil {
 		// Serving policy, on top of spec validity: untrusted submissions
@@ -234,6 +282,7 @@ func (s *Service) Submit(sp *scenario.Spec) (Result, error) {
 	if rep, ok := s.cache.get(hash); ok {
 		s.stats.Hits++
 		s.mu.Unlock()
+		tr.Mark("cache_hit", "")
 		return Result{Hash: hash, Cached: true, Report: rep}, nil
 	}
 	if f, ok := s.inflight[hash]; ok {
@@ -241,7 +290,9 @@ func (s *Service) Submit(sp *scenario.Spec) (Result, error) {
 		// duplicate job.
 		s.stats.Dedups++
 		s.mu.Unlock()
+		dw := tr.Begin("dedup_wait")
 		<-f.done
+		dw.End()
 		if f.err != nil {
 			return Result{}, f.err
 		}
@@ -251,7 +302,10 @@ func (s *Service) Submit(sp *scenario.Spec) (Result, error) {
 	// memory-evicted) service serves durably stored results instead of
 	// re-simulating them.
 	if s.disk != nil {
-		if res, ok := s.diskResultLocked(hash); ok {
+		sr := tr.Begin("store_read")
+		res, ok := s.diskResultLocked(hash)
+		sr.End()
+		if ok {
 			s.stats.Hits++
 			s.mu.Unlock()
 			return res, nil
@@ -273,13 +327,25 @@ func (s *Service) Submit(sp *scenario.Spec) (Result, error) {
 	// The spec may be mutated by the caller after Submit returns for a
 	// deduplicated waiter, so the executing job owns a private copy.
 	run := sp.Clone()
+	qw := tr.Begin("queue_wait")
+	enqueued := time.Now()
 	job := func() {
 		defer close(f.done)
+		qw.End()
+		wait := time.Since(enqueued)
 		s.mu.Lock()
 		s.stats.Queued--
 		s.stats.Executions++
+		s.queueWait.Observe(wait.Microseconds())
 		s.mu.Unlock()
-		rep, err := s.runSpec(run)
+		// A run that records a series streams it: the publisher is live from
+		// before the first simulated second, so a subscriber attaching
+		// mid-run replays from row 0.
+		var pub *obs.SeriesPub
+		if run.Series != nil {
+			pub = s.streams.Open(hash)
+		}
+		rep, events, evDropped, err := s.runSpec(run, tr, pub)
 		var data, spec, series []byte
 		if err == nil {
 			data, err = rep.Encode()
@@ -302,11 +368,13 @@ func (s *Service) Submit(sp *scenario.Spec) (Result, error) {
 			// servable report whose spec cannot be re-derived. Put errors are
 			// swallowed: the disk plane accelerates restarts, it does not
 			// gate serving from memory.
+			sw := tr.Begin("store_write")
 			s.disk.Put(store.KindSpec, hash, spec)
 			if series != nil {
 				s.disk.Put(store.KindSeries, hash, series)
 			}
 			s.disk.Put(store.KindReport, hash, data)
+			sw.End()
 		}
 		s.mu.Lock()
 		delete(s.inflight, hash)
@@ -315,9 +383,20 @@ func (s *Service) Submit(sp *scenario.Spec) (Result, error) {
 			f.err = &RunError{Hash: hash, Err: err}
 		} else {
 			f.report = data
-			s.cache.put(hash, data, spec, series)
+			s.stats.TraceDropped += evDropped
+			s.cache.put(hash, data, spec, series, &eventLog{events: events, dropped: evDropped})
 		}
 		s.mu.Unlock()
+		// The stream ends only after the cache put: a subscriber that sees
+		// the terminal message can immediately GET /series and find the
+		// stored bytes it should compare against.
+		if pub != nil {
+			if err == nil && series != nil {
+				pub.Finish(series)
+			} else {
+				pub.Abort("execution failed")
+			}
+		}
 	}
 
 	// Still under s.mu from the miss bookkeeping above: enqueue and wake a
@@ -337,13 +416,13 @@ func (s *Service) Submit(sp *scenario.Spec) (Result, error) {
 // runSpec executes a spec, converting a panic anywhere in the simulator
 // into an error so one bad submission cannot take down the daemon's worker
 // pool.
-func (s *Service) runSpec(sp *scenario.Spec) (rep *scenario.Report, err error) {
+func (s *Service) runSpec(sp *scenario.Spec, tr *obs.Trace, pub *obs.SeriesPub) (rep *scenario.Report, events []trace.Event, dropped int64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			rep, err = nil, fmt.Errorf("panic during run: %v", r)
+			rep, events, dropped, err = nil, nil, 0, fmt.Errorf("panic during run: %v", r)
 		}
 	}()
-	return s.execute(sp)
+	return s.execute(sp, tr, pub)
 }
 
 // snapshotEligible gates snapshot reuse to whole-second windows: splitting a
@@ -361,29 +440,56 @@ func snapshotEligible(sp *scenario.Spec) bool {
 // tests), the serving path is free to choose either and the reports cannot
 // differ. Fresh runs deposit their end-of-window state back into the
 // snapshot cache so later, longer windows extend instead of restarting.
-func (s *Service) execute(sp *scenario.Spec) (*scenario.Report, error) {
+//
+// The observability taps ride the same seams: spans around warm, measure,
+// fork, and store reads; a fresh controller event log per execution (Fork
+// deliberately does not carry one, so a forked continuation records only
+// its own seconds); and, when pub is non-nil, every appended series row
+// published to live stream subscribers.
+func (s *Service) execute(sp *scenario.Spec, tr *obs.Trace, pub *obs.SeriesPub) (*scenario.Report, []trace.Event, int64, error) {
 	run := sp.Clone()
 	if err := run.Normalize(); err != nil {
-		return nil, err
+		return nil, nil, 0, err
 	}
 	hash, err := run.Hash()
 	if err != nil {
-		return nil, err
+		return nil, nil, 0, err
+	}
+	// attach wires the per-execution taps onto a started (or forked)
+	// scenario and returns its event log.
+	attach := func(sc *harness.Scenario) *trace.Log {
+		tlog := trace.NewLog(0)
+		if sc.Controller != nil {
+			sc.Controller.SetTraceLog(tlog)
+		}
+		if pub != nil {
+			pub.Publish(sc.Monitor.Series()) // replay any forked prefix rows
+			sc.Monitor.SetRowHook(pub.Publish)
+		}
+		return tlog
 	}
 	if s.snaps == nil || !snapshotEligible(run) {
 		sc, err := run.Start()
 		if err != nil {
-			return nil, err
+			return nil, nil, 0, err
 		}
-		return scenario.FromResult(run, hash, sc.Run(run.WarmupSec, run.MeasureSec)), nil
+		tlog := attach(sc)
+		w := tr.Begin("warm")
+		sc.Warm(run.WarmupSec)
+		w.End()
+		sc.BeginMeasure()
+		m := tr.Begin("measure")
+		sc.Measure(run.MeasureSec)
+		m.End()
+		return scenario.FromResult(run, hash, sc.EndMeasure()), tlog.Events(), tlog.Dropped, nil
 	}
 	prefix, err := run.PrefixHash()
 	if err != nil {
-		return nil, err
+		return nil, nil, 0, err
 	}
 	canon, err := run.Canonical()
 	if err != nil {
-		return nil, err
+		return nil, nil, 0, err
 	}
 	snap, measured, spec, ok := s.snaps.get(prefix)
 	if !ok && s.disk != nil {
@@ -391,32 +497,44 @@ func (s *Service) execute(sp *scenario.Spec) (*scenario.Report, error) {
 		// previous instance spilled to disk. Any failure — missing object,
 		// quarantined bytes, version or structure mismatch — falls through
 		// to a plain fresh run.
+		sr := tr.Begin("store_read")
 		if snap, measured, spec, ok = s.diskSnapshot(prefix); ok {
 			s.mu.Lock()
 			s.stats.StoreHits++
 			s.mu.Unlock()
 		}
+		sr.End()
 	}
 	if ok && measured <= run.MeasureSec {
 		s.mu.Lock()
 		s.stats.SnapshotForks++
 		s.mu.Unlock()
+		fk := tr.Begin("snapshot_fork")
 		sc := snap.Fork()
+		fk.End()
+		tlog := attach(sc)
+		m := tr.Begin("measure")
 		sc.Measure(run.MeasureSec - measured)
+		m.End()
 		s.depositSnap(prefix, sc.Snapshot(), run.MeasureSec, spec)
-		return scenario.FromResult(run, hash, sc.EndMeasure()), nil
+		return scenario.FromResult(run, hash, sc.EndMeasure()), tlog.Events(), tlog.Dropped, nil
 	}
 	sc, err := run.Start()
 	if err != nil {
-		return nil, err
+		return nil, nil, 0, err
 	}
+	tlog := attach(sc)
+	w := tr.Begin("warm")
 	sc.Warm(run.WarmupSec)
+	w.End()
 	sc.BeginMeasure()
+	m := tr.Begin("measure")
 	sc.Measure(run.MeasureSec)
+	m.End()
 	// Snapshot before closing the window: the stored state must be
 	// continuable, and EndMeasure only reads the accumulators.
 	s.depositSnap(prefix, sc.Snapshot(), run.MeasureSec, canon)
-	return scenario.FromResult(run, hash, sc.EndMeasure()), nil
+	return scenario.FromResult(run, hash, sc.EndMeasure()), tlog.Events(), tlog.Dropped, nil
 }
 
 // ErrUnknownHash is returned by Extend for a content address with no
@@ -430,6 +548,15 @@ var ErrUnknownHash = errors.New("service: unknown run hash")
 // run is still resident — forks and simulates only the additional seconds.
 // The result is byte-identical to running the extended spec from scratch.
 func (s *Service) Extend(hash string, measureSec float64) (Result, error) {
+	return s.extend(hash, measureSec, nil)
+}
+
+// ExtendTraced is Extend with per-request span recording.
+func (s *Service) ExtendTraced(hash string, measureSec float64, tr *obs.Trace) (Result, error) {
+	return s.extend(hash, measureSec, tr)
+}
+
+func (s *Service) extend(hash string, measureSec float64, tr *obs.Trace) (Result, error) {
 	if measureSec <= 0 {
 		return Result{}, fmt.Errorf("service: extend needs a positive measure_sec, got %g", measureSec)
 	}
@@ -454,7 +581,29 @@ func (s *Service) Extend(hash string, measureSec float64) (Result, error) {
 		return Result{}, fmt.Errorf("service: corrupt indexed spec for %.12s: %w", hash, err)
 	}
 	sp.MeasureSec = measureSec
-	return s.Submit(sp)
+	return s.submit(sp, tr)
+}
+
+// TraceEvents serves the controller event log recorded when a cached run
+// executed, as canonical JSON, trimmed to the last n events when n > 0. It
+// returns false for unknown hashes and for entries without a log (runs
+// rehydrated from disk — event logs are not spilled — or cached before
+// logging existed).
+func (s *Service) TraceEvents(hash string, n int) ([]byte, bool) {
+	s.mu.Lock()
+	events, dropped, ok := s.cache.eventsOf(hash)
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	if n > 0 && n < len(events) {
+		events = events[len(events)-n:]
+	}
+	data, err := trace.EncodeEvents(events, dropped)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
 }
 
 // snapStore is a bounded LRU of warm simulation snapshots keyed by prefix
@@ -593,6 +742,17 @@ type lruEntry struct {
 	data   []byte
 	spec   []byte // canonical spec encoding, for Extend
 	series []byte // canonical series encoding, for GET /series/<hash> (nil when not recorded)
+
+	// events is the controller event log captured when this entry executed
+	// here; nil for entries rehydrated from disk (logs are not spilled).
+	events *eventLog
+}
+
+// eventLog is one execution's retained controller events plus how many its
+// bounded ring dropped.
+type eventLog struct {
+	events  []trace.Event
+	dropped int64
 }
 
 func newLRUCache(capEntries int) *lruCache {
@@ -640,19 +800,38 @@ func (c *lruCache) seriesOf(key string) ([]byte, bool) {
 	return e.series, true
 }
 
-func (c *lruCache) put(key string, data, spec, series []byte) {
+func (c *lruCache) put(key string, data, spec, series []byte, events *eventLog) {
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		e := el.Value.(*lruEntry)
 		e.data, e.spec, e.series = data, spec, series
+		if events != nil {
+			// Keep an existing log when re-putting from disk rehydration:
+			// the executed-here log is strictly more informative.
+			e.events = events
+		}
 		return
 	}
-	c.items[key] = c.ll.PushFront(&lruEntry{key: key, data: data, spec: spec, series: series})
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, data: data, spec: spec, series: series, events: events})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*lruEntry).key)
 	}
+}
+
+// eventsOf returns the controller event log captured at key's execution,
+// without touching recency (event retrieval is diagnostics, not serving).
+func (c *lruCache) eventsOf(key string) ([]trace.Event, int64, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, 0, false
+	}
+	e := el.Value.(*lruEntry)
+	if e.events == nil {
+		return nil, 0, false
+	}
+	return e.events.events, e.events.dropped, true
 }
 
 func (c *lruCache) len() int { return c.ll.Len() }

@@ -312,10 +312,10 @@ func TestLRUEviction(t *testing.T) {
 
 func TestLRUUnit(t *testing.T) {
 	c := newLRUCache(2)
-	c.put("a", []byte("1"), []byte("sa"), nil)
-	c.put("b", []byte("2"), []byte("sb"), nil)
+	c.put("a", []byte("1"), []byte("sa"), nil, nil)
+	c.put("b", []byte("2"), []byte("sb"), nil, nil)
 	c.get("a") // refresh a; b is now oldest
-	c.put("c", []byte("3"), []byte("sc"), nil)
+	c.put("c", []byte("3"), []byte("sc"), nil, nil)
 	if _, ok := c.get("b"); ok {
 		t.Error("LRU evicted the recently-used entry instead of the oldest")
 	}

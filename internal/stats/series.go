@@ -70,6 +70,24 @@ func (s *Series) Column(name string) []float64 {
 	return s.cols[i]
 }
 
+// Row copies row i (0-based) into dst, growing it if needed, and returns
+// the filled slice with one value per column in declaration order. It is
+// how the streaming plane replays a series row-by-row without transposing
+// the columnar storage per subscriber. Out-of-range rows return nil.
+func (s *Series) Row(i int, dst []float64) []float64 {
+	if i < 0 || i >= s.rows {
+		return nil
+	}
+	if cap(dst) < len(s.cols) {
+		dst = make([]float64, len(s.cols))
+	}
+	dst = dst[:len(s.cols)]
+	for c, col := range s.cols {
+		dst[c] = col[i]
+	}
+	return dst
+}
+
 // Sum reduces one column by left-to-right addition — the same order an
 // incremental per-second accumulator would have used, so aggregates reduced
 // from a series are bit-identical to aggregates summed during the run.

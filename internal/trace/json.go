@@ -1,0 +1,40 @@
+package trace
+
+import "encoding/json"
+
+// wireEvent is the canonical JSON shape of one controller event: the
+// simulated-time offset in seconds plus the typed payload. Simulated time
+// is deterministic, so event bodies — unlike span bodies — may carry it.
+type wireEvent struct {
+	AtSec   float64 `json:"at_s"`
+	Kind    string  `json:"kind"`
+	Subject string  `json:"subject"`
+	A       int64   `json:"a"`
+	B       int64   `json:"b"`
+	Msg     string  `json:"msg,omitempty"`
+}
+
+// wireLog is the canonical body served by GET /trace/events/<hash>: the
+// retained events oldest-first and how many older ones the ring dropped.
+type wireLog struct {
+	Events  []wireEvent `json:"events"`
+	Dropped int64       `json:"dropped"`
+}
+
+// EncodeEvents renders events (oldest-first, as Events/Tail return them)
+// and the ring's drop count as canonical JSON. Deterministic: the same
+// simulated run always produces the same bytes.
+func EncodeEvents(events []Event, dropped int64) ([]byte, error) {
+	w := wireLog{Events: make([]wireEvent, len(events)), Dropped: dropped}
+	for i, e := range events {
+		w.Events[i] = wireEvent{
+			AtSec:   e.At.Seconds(),
+			Kind:    e.Kind.String(),
+			Subject: e.Subject,
+			A:       e.A,
+			B:       e.B,
+			Msg:     e.Msg,
+		}
+	}
+	return json.Marshal(w)
+}

@@ -42,10 +42,28 @@ series_overhead=$(echo "$series_raw" | awk '
 	END { if (off > 0 && on > 0) printf "%.2f", (on - off) * 100 / off; else printf "0" }')
 echo "series_overhead_pct=$series_overhead"
 
+# Observability-plane cost: the relative ns/op difference between a measured
+# second with spans, latency histograms, and live series streaming enabled
+# and the same loop without them (BenchmarkScenarioSecondObs). Same
+# multi-iteration treatment and sub-3% expectation as the series plane;
+# informational, not gated.
+obs_raw=$(go test -run '^$' -bench '^BenchmarkScenarioSecondObs$' \
+	-benchtime "${OBS_BENCHTIME:-4x}" .)
+echo "$obs_raw" | grep '^BenchmarkScenarioSecondObs' || true
+obs_overhead=$(echo "$obs_raw" | awk '
+	/^BenchmarkScenarioSecondObs\/off/ {off = $3}
+	/^BenchmarkScenarioSecondObs\/on/  {on = $3}
+	END { if (off > 0 && on > 0) printf "%.2f", (on - off) * 100 / off; else printf "0" }')
+echo "obs_overhead_pct=$obs_overhead"
+
 # Serving throughput: start a throwaway daemon, loadgen against it, parse
-# the service_cached_rps line. Guarded so a sandboxed environment without
-# loopback listening still records the compute benchmarks.
+# the service_cached_rps line (plus the client-side latency percentiles the
+# loadgen's merged HDR histogram reports). Guarded so a sandboxed
+# environment without loopback listening still records the compute
+# benchmarks.
 serve_rps=0
+loadgen_p50=0
+loadgen_p99=0
 serve_pid=""
 cluster_pids=""
 serve_port="${A4SERVE_PORT:-8046}"
@@ -71,6 +89,10 @@ elif go build -o "$serve_bin" ./cmd/a4serve; then
 		echo "$loadgen_out"
 		serve_rps=$(echo "$loadgen_out" | awk -F= '/^service_cached_rps=/ {print $2}')
 		serve_rps="${serve_rps:-0}"
+		loadgen_p50=$(echo "$loadgen_out" | awk -F= '/^loadgen_p50_ms=/ {print $2}')
+		loadgen_p50="${loadgen_p50:-0}"
+		loadgen_p99=$(echo "$loadgen_out" | awk -F= '/^loadgen_p99_ms=/ {print $2}')
+		loadgen_p99="${loadgen_p99:-0}"
 	else
 		echo "bench.sh: loadgen failed; recording service_cached_rps=0" >&2
 	fi
@@ -132,9 +154,12 @@ fi
 	echo "  \"benchtime\": \"$benchtime\","
 	echo "  \"go\": \"$(go version | awk '{print $3}')\","
 	echo "  \"service_cached_rps\": ${serve_rps},"
+	echo "  \"loadgen_p50_ms\": ${loadgen_p50},"
+	echo "  \"loadgen_p99_ms\": ${loadgen_p99},"
 	echo "  \"cluster_sweep_rps\": ${cluster_rps},"
 	echo "  \"sweep_fork_speedup\": ${fork_speedup},"
 	echo "  \"series_overhead_pct\": ${series_overhead},"
+	echo "  \"obs_overhead_pct\": ${obs_overhead},"
 	echo '  "benchmarks": {'
 	echo "$raw" | awk '
 		/^Benchmark/ {

@@ -8,9 +8,13 @@
 #   * sweep_fork_speedup (the warm-snapshot fork win) drops below
 #     BENCH_GATE_MIN_FORK (default 1.5×).
 #
-# Other keys in the record (service_cached_rps, cluster_sweep_rps,
-# series_overhead_pct, BenchmarkScenarioSecondSeries/*) are informational:
-# the gate reads only the two metrics above and tolerates any additions.
+# Other keys in the record (service_cached_rps, loadgen_p50_ms,
+# loadgen_p99_ms, cluster_sweep_rps, series_overhead_pct, obs_overhead_pct,
+# BenchmarkScenarioSecondSeries/*, BenchmarkScenarioSecondObs/*) are
+# informational: the gate reads only the two metrics above and tolerates any
+# additions. Note the scenario_second_ms gate runs with the observability
+# plane's span/histogram instrumentation compiled in, so a regression there
+# also catches obs hot-path cost creep.
 #
 # Noise tolerance: a first-shot miss does not fail the gate outright — the
 # offending benchmark is re-measured up to two more times and the best of
