@@ -19,6 +19,8 @@ import (
 	"time"
 
 	"a4sim/internal/figures"
+	"a4sim/internal/harness"
+	"a4sim/internal/scenario"
 )
 
 func main() {
@@ -27,6 +29,8 @@ func main() {
 	verbose := flag.Bool("v", false, "include controller event notes")
 	list := flag.Bool("list", false, "list available figure IDs")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	sampled := flag.Bool("sampled", false,
+		"run measurement windows sampled (200 ms detail per second; ~5x fewer detailed epochs)")
 	flag.Parse()
 
 	if *list || *fig == "" {
@@ -39,6 +43,12 @@ func main() {
 	}
 
 	opts := figures.Options{Quick: *quick, Verbose: *verbose, Workers: *workers}
+	if *sampled {
+		opts.Params.Sample = harness.SampleSpec{
+			DetailUs: scenario.DefaultSampleDetailUs,
+			PeriodUs: scenario.DefaultSamplePeriodUs,
+		}
+	}
 	ids := []string{*fig}
 	switch *fig {
 	case "all":

@@ -60,6 +60,12 @@ func FigTransient(o Options) *Report {
 				{Kind: "xmem", Name: "xmem", Cores: []int{0}, Priority: "hpw", WSKB: 4 << 10, Pattern: "sequential"},
 			},
 		}
+		if o.Params.Sample.Enabled() {
+			sp.Sampling = &scenario.SamplingSpec{
+				DetailUs: o.Params.Sample.DetailUs,
+				PeriodUs: o.Params.Sample.PeriodUs,
+			}
+		}
 		if colocated {
 			sp.Workloads = append(sp.Workloads,
 				// The antagonist set of the paper's micro mix: a storage

@@ -208,10 +208,14 @@ func IDs() []string {
 // defaultXMemWS is the 4 MB working set of X-Mem 1/2 (Table 3).
 const defaultXMemWS = 4 << 20
 
-// microParams are the scenario parameters used by the §3/§4 figures.
+// microParams are the scenario parameters used by the §3/§4 figures. The
+// sampling schedule survives the defaults fallback: `a4bench -sampled` sets
+// only Params.Sample, and dropping it here would silently run detailed.
 func microParams(o Options) harness.Params {
 	if o.Params.RateScale == 0 {
-		return harness.DefaultParams()
+		p := harness.DefaultParams()
+		p.Sample = o.Params.Sample
+		return p
 	}
 	return o.Params
 }

@@ -37,7 +37,7 @@ import (
 // sim.FuncObservers attached by a CLI) cannot be forked and panic with the
 // offending type.
 func (s *Scenario) Fork() *Scenario {
-	f := &Scenario{P: s.P, started: s.started}
+	f := &Scenario{P: s.P, started: s.started, measureStart: s.measureStart}
 	f.P.Hierarchy.PortNames = append([]string(nil), s.P.Hierarchy.PortNames...)
 	f.Fabric = s.Fabric.Clone()
 	f.H = s.H.Fork(f.Fabric)

@@ -6,6 +6,7 @@ package harness
 
 import (
 	"fmt"
+	"math"
 
 	"a4sim/internal/baseline"
 	"a4sim/internal/core"
@@ -42,6 +43,47 @@ type Params struct {
 	SSDOverheadLines int
 	// SSDParallelism is the array's internal concurrency window (lanes).
 	SSDParallelism int
+
+	// Sample is the sampled-execution schedule. The zero value runs every
+	// epoch in detail (the default, byte-identical to pre-sampling builds).
+	Sample SampleSpec
+}
+
+// SampleSpec schedules sampled execution inside measurement windows: of
+// every PeriodUs microseconds of measured time, the first DetailUs run in
+// full detail and the remainder fast-forwards (sim.FastForwarder). Warm-up
+// is always detailed, and the schedule's phase is anchored at BeginMeasure,
+// so a window always opens with a detailed interval and a forked
+// continuation stays aligned with the run it forked from. The zero value
+// disables sampling.
+type SampleSpec struct {
+	// DetailUs is the detailed interval per period, in simulated µs. It must
+	// be a positive whole number of epochs (multiples of 1000 µs).
+	DetailUs int64
+	// PeriodUs is the schedule period in simulated µs: a whole number of
+	// seconds (multiples of 1 000 000), at least DetailUs. DetailUs equal to
+	// PeriodUs degenerates to fully detailed execution.
+	PeriodUs int64
+}
+
+// Enabled reports whether the spec schedules any sampling.
+func (sp SampleSpec) Enabled() bool { return sp.DetailUs > 0 || sp.PeriodUs > 0 }
+
+// Validate checks the schedule's alignment constraints.
+func (sp SampleSpec) Validate() error {
+	if !sp.Enabled() {
+		return nil
+	}
+	if sp.DetailUs < sim.TicksPerEpoch || sp.DetailUs%sim.TicksPerEpoch != 0 {
+		return fmt.Errorf("harness: sampling detail_us %d must be a positive multiple of %d", sp.DetailUs, sim.TicksPerEpoch)
+	}
+	if sp.PeriodUs < sim.TicksPerSecond || sp.PeriodUs%sim.TicksPerSecond != 0 {
+		return fmt.Errorf("harness: sampling period_us %d must be a positive multiple of %d", sp.PeriodUs, sim.TicksPerSecond)
+	}
+	if sp.DetailUs > sp.PeriodUs {
+		return fmt.Errorf("harness: sampling detail_us %d exceeds period_us %d", sp.DetailUs, sp.PeriodUs)
+	}
+	return nil
 }
 
 // DefaultParams mirrors the Table 1 testbed.
@@ -141,6 +183,11 @@ type Scenario struct {
 
 	rng     *sim.RNG
 	started bool
+	// measureStart anchors the sampling schedule's phase: set by
+	// BeginMeasure, carried by fork and snapshot, so split and forked
+	// measurement windows keep the exact detailed/skipped interval sequence
+	// of an uninterrupted run.
+	measureStart sim.Tick
 }
 
 // NewScenario builds an empty scenario environment.
@@ -362,6 +409,18 @@ func (s *Scenario) Start(m ManagerSpec) {
 		panic("harness: Start called twice")
 	}
 	s.started = true
+	if s.P.Sample.Enabled() {
+		if err := s.P.Sample.Validate(); err != nil {
+			panic(err)
+		}
+		// Fail at assembly time, not mid-gap, if any actor cannot
+		// fast-forward.
+		for _, a := range s.Engine.Actors() {
+			if _, ok := a.(sim.FastForwarder); !ok {
+				panic(fmt.Sprintf("harness: sampling enabled but actor %s does not implement sim.FastForwarder", a.Name()))
+			}
+		}
+	}
 	s.Engine.AddObserver(s.Monitor)
 	switch m.Kind {
 	case ManagerDefault:
@@ -405,14 +464,47 @@ func (s *Scenario) BeginMeasure() {
 	if !s.started {
 		panic("harness: Run before Start")
 	}
+	s.measureStart = s.Engine.Now()
 	s.Monitor.BeginWindow()
 }
 
 // Measure advances simulated time inside the open window. Successive calls
 // accumulate into the same window, so a run can be extended from a forked
 // snapshot: fork, Measure the remainder, EndMeasure.
+//
+// With sampling enabled, Measure alternates detailed intervals and
+// fast-forward gaps per the schedule, phase-anchored at BeginMeasure: epochs
+// whose offset into the current period falls inside DetailUs execute in full
+// detail, the rest fast-forward (the hierarchy's passive seam first, then
+// every engine actor). Splitting a window across Measure calls lands each
+// piece at the phase an unsplit run would have reached.
 func (s *Scenario) Measure(sec float64) {
-	s.Engine.Run(sec)
+	if !s.P.Sample.Enabled() {
+		s.Engine.Run(sec)
+		return
+	}
+	epochs := int(math.Floor(sec*sim.EpochsPerSecond + 0.5))
+	detailE := int(s.P.Sample.DetailUs / sim.TicksPerEpoch)
+	periodE := int(s.P.Sample.PeriodUs / sim.TicksPerEpoch)
+	for epochs > 0 {
+		phase := int((s.Engine.Now()-s.measureStart)/sim.TicksPerEpoch) % periodE
+		if phase < detailE {
+			run := detailE - phase
+			if run > epochs {
+				run = epochs
+			}
+			s.Engine.RunEpochsBatched(run)
+			epochs -= run
+			continue
+		}
+		gap := periodE - phase
+		if gap > epochs {
+			gap = epochs
+		}
+		s.H.FastForward(s.Engine.Now(), sim.Tick(gap)*sim.TicksPerEpoch)
+		s.Engine.FastForward(gap)
+		epochs -= gap
+	}
 }
 
 // EndMeasure closes the window and returns its result.

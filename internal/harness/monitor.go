@@ -24,6 +24,10 @@ type Monitor struct {
 
 	collecting bool
 	secs       int
+	// detailSecs is the detailed (non-fast-forwarded) portion of the open
+	// window in seconds. It equals secs in unsampled runs; sampled windows
+	// use it to rate progress counters, which only advance in detail.
+	detailSecs float64
 	win        *window
 	opts       SeriesOpts
 
@@ -138,12 +142,15 @@ func (m *Monitor) fork(s *Scenario) *Monitor {
 		lastMemWr:  m.lastMemWr,
 		collecting: m.collecting,
 		secs:       m.secs,
+		detailSecs: m.detailSecs,
 		opts:       m.opts,
 	}
 	if m.win != nil {
 		w := *m.win
 		w.series = m.win.series.Clone()
-		w.row = make([]float64, len(m.win.row))
+		// Copy the row scratch's values, not just its shape: the sampled
+		// path replicates the previous row across fully skipped seconds.
+		w.row = append([]float64(nil), m.win.row...)
 		w.lastProg = append([]int64(nil), m.win.lastProg...)
 		if m.win.wlBase != nil {
 			w.wlBase = make(map[pcm.WorkloadID]int, len(m.win.wlBase))
@@ -173,6 +180,13 @@ func (m *Monitor) LastMemBW() float64 { return m.lastMemRd + m.lastMemWr }
 
 // OnSecond implements sim.Observer.
 func (m *Monitor) OnSecond(now sim.Tick) {
+	if skipped := m.s.Engine.SkippedTicks(); skipped > 0 {
+		// Sampled second: extrapolate from the detailed fraction. Unsampled
+		// runs never reach this branch (SkippedTicks is always zero), so the
+		// default path below stays byte-identical to pre-sampling builds.
+		m.onSecondSampled(now, skipped)
+		return
+	}
 	m.last = m.s.Fabric.SampleAll(1)
 	rd, wr := m.s.H.Memory().DeltaBytes()
 	m.lastMemRd = m.s.Fabric.GBps(rd, 1)
@@ -186,6 +200,7 @@ func (m *Monitor) OnSecond(now sim.Tick) {
 		return
 	}
 	m.secs++
+	m.detailSecs++
 	w := m.win
 	row := w.row
 	for i := range row {
@@ -240,6 +255,103 @@ func (m *Monitor) OnSecond(now sim.Tick) {
 		// The controller observer runs after the monitor at each boundary,
 		// so these columns record the state that was in effect during the
 		// just-ended second — aligned with the metrics in the same row.
+		row[w.a4Base] = float64(c.StateCode())
+		row[w.a4Base+1] = float64(c.FeatureMask())
+		l, r := c.LPZone()
+		row[w.a4Base+2] = float64(l)
+		row[w.a4Base+3] = float64(r)
+	}
+	w.series.Append(row...)
+	if m.rowHook != nil {
+		m.rowHook(w.series)
+	}
+}
+
+// onSecondSampled records a second of which skipped ticks were
+// fast-forwarded. Counters only accumulated over the detailed fraction frac
+// of the second, so rate and ratio metrics are sampled over frac (pcm already
+// normalizes by the interval) and count columns — DMA leak/bloat events,
+// progress deltas, NIC drops — scale by 1/frac, extrapolating each row to a
+// full-second-equivalent estimate. A fully skipped second (frac == 0)
+// carries the previous row's traffic estimates forward, which is exactly the
+// freeze model's steady-state assumption, while instantaneous gauges (queue
+// depths, LLC occupancy, controller state) are re-read live since the
+// frozen state remains current.
+func (m *Monitor) onSecondSampled(now sim.Tick, skipped sim.Tick) {
+	frac := float64(sim.TicksPerSecond-skipped) / float64(sim.TicksPerSecond)
+	if frac > 0 {
+		m.last = m.s.Fabric.SampleAll(frac)
+		rd, wr := m.s.H.Memory().DeltaBytes()
+		m.lastMemRd = m.s.Fabric.GBps(rd, frac)
+		m.lastMemWr = m.s.Fabric.GBps(wr, frac)
+	}
+	// frac == 0 keeps the previous sample set: the controller (and any
+	// series consumer) steers on the last detailed observation.
+	if !m.collecting {
+		for _, p := range m.s.H.PCIe().Ports() {
+			p.DeltaBytes()
+		}
+		return
+	}
+	m.secs++
+	m.detailSecs += frac
+	w := m.win
+	row := w.row
+	if frac > 0 {
+		for i := range row {
+			row[i] = 0
+		}
+		row[w.memRd] = m.lastMemRd
+		row[w.memWr] = m.lastMemWr
+		for pi, p := range m.s.H.PCIe().Ports() {
+			in, out := p.DeltaBytes()
+			row[w.portBase+2*pi] = m.s.Fabric.GBps(in, frac)
+			row[w.portBase+2*pi+1] = m.s.Fabric.GBps(out, frac)
+		}
+		for _, smp := range m.last {
+			base, ok := w.wlBase[smp.ID]
+			if !ok {
+				continue
+			}
+			row[base+colLLCHit] = smp.LLCHitRate
+			row[base+colMLCMiss] = smp.MLCMissRate
+			row[base+colLLCMiss] = smp.LLCMissRate
+			row[base+colDCAMiss] = smp.DCAMissRate
+			row[base+colLeakRate] = smp.LeakRate
+			row[base+colIPC] = smp.IPC
+			row[base+colIORd] = smp.IOReadGBps
+			row[base+colIOWr] = smp.IOWriteGBps
+			row[base+colDMALeaks] = float64(smp.DMALeaks) / frac
+			row[base+colDMABloats] = float64(smp.DMABloats) / frac
+		}
+		for i, wl := range m.s.Workloads {
+			p := wl.Progress()
+			row[w.wlBase[wl.ID()]+colProgress] = float64(p-w.lastProg[i]) / frac
+			w.lastProg[i] = p
+		}
+		if w.nicDrops >= 0 {
+			d := m.s.NIC.Dropped()
+			row[w.nicDrops] = float64(d-w.lastNICDrops) / frac
+			w.lastNICDrops = d
+		}
+	}
+	// Row scratch persists between seconds, so with frac == 0 the rate
+	// columns above still hold the previous row's estimates; only the live
+	// gauges below are refreshed.
+	if w.nicDrops >= 0 {
+		row[w.nicDepth] = float64(m.s.NIC.RingDepth())
+	}
+	if w.ssdDepth >= 0 {
+		row[w.ssdDepth] = float64(m.s.SSD.QueueDepth())
+	}
+	if w.occBase >= 0 {
+		m.s.H.LLC().LinesByOwner(w.occScratch)
+		for i, wl := range m.s.Workloads {
+			row[w.occBase+i] = float64(w.occScratch[int16(wl.ID())])
+		}
+	}
+	if w.a4Base >= 0 {
+		c := m.s.Controller
 		row[w.a4Base] = float64(c.StateCode())
 		row[w.a4Base+1] = float64(c.FeatureMask())
 		l, r := c.LPZone()
@@ -317,6 +429,7 @@ func (m *Monitor) newWindow() *window {
 func (m *Monitor) BeginWindow() {
 	m.collecting = true
 	m.secs = 0
+	m.detailSecs = 0
 	m.win = m.newWindow()
 	m.progressMark = make(map[pcm.WorkloadID]int64)
 	for _, w := range m.s.Workloads {
@@ -343,6 +456,16 @@ func (m *Monitor) EndWindow() *Result {
 	secs := float64(m.secs)
 	if secs == 0 {
 		secs = 1
+	}
+	// Progress counters only advance during detailed execution, so sampled
+	// windows rate them over the detailed seconds. Unsampled runs keep the
+	// historical secs denominator (identical value, identical bytes).
+	progSecs := secs
+	if m.s.P.Sample.Enabled() {
+		progSecs = m.detailSecs
+		if progSecs == 0 {
+			progSecs = 1
+		}
 	}
 	rows := w.series.Len()
 	res := &Result{
@@ -382,7 +505,7 @@ func (m *Monitor) EndWindow() *Result {
 			IOWriteGBps:  col(colIOWr) / n,
 			DMALeaks:     w.series.SumInt("wl." + name + "." + wlColNames[colDMALeaks]),
 			DMABloats:    w.series.SumInt("wl." + name + "." + wlColNames[colDMABloats]),
-			ProgressRate: float64(wl.Progress()-m.progressMark[wl.ID()]) / secs,
+			ProgressRate: float64(wl.Progress()-m.progressMark[wl.ID()]) / progSecs,
 		}
 		if d, ok := wl.(*workload.DPDK); ok {
 			wr.AvgLatUs = d.Latency().Mean() / scale

@@ -6,6 +6,7 @@ import (
 
 	"a4sim/internal/codec"
 	"a4sim/internal/pcm"
+	"a4sim/internal/sim"
 	"a4sim/internal/stats"
 	"a4sim/internal/workload"
 )
@@ -29,9 +30,12 @@ import (
 // entire layer order and every per-package wire shape; any change to either
 // must bump it, and decoders reject versions they do not know — stale
 // snapshots are then re-executed, never misparsed.
+// Version history: v2 added the sampled-execution state (engine skipped-tick
+// counter, Synthetic fast-forward rate trackers, the window's schedule
+// anchor and detailed-second tally, and the sampling-spec fingerprint).
 const (
 	snapMagic   = "A4SN"
-	snapVersion = 1
+	snapVersion = 2
 )
 
 // Workload kind tags in the encoded stream.
@@ -70,8 +74,14 @@ func (sn *Snapshot) Encode() ([]byte, error) {
 	w.Bool(s.SSD != nil)
 	w.Int(s.Fabric.NumWorkloads())
 	w.Bool(s.Controller != nil)
+	// The sampling schedule is structural (it changes which state the blob
+	// carries meaning): fingerprint it so a sampled snapshot never restores
+	// onto a detailed scenario or vice versa.
+	w.I64(s.P.Sample.DetailUs)
+	w.I64(s.P.Sample.PeriodUs)
 
 	s.Engine.EncodeState(w)
+	w.I64(int64(s.measureStart))
 	w.U64(s.rng.State())
 	s.Fabric.EncodeState(w)
 	s.H.EncodeState(w)
@@ -128,6 +138,8 @@ func DecodeSnapshot(data []byte, fresh *Scenario) (*Snapshot, error) {
 	hasSSD := r.Bool()
 	nFabric := r.Int()
 	hasController := r.Bool()
+	sampleDetail := r.I64()
+	samplePeriod := r.I64()
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
@@ -144,9 +156,13 @@ func DecodeSnapshot(data []byte, fresh *Scenario) (*Snapshot, error) {
 		return nil, fmt.Errorf("harness: snapshot has %d fabric workloads, scenario has %d", nFabric, fresh.Fabric.NumWorkloads())
 	case hasController != (fresh.Controller != nil):
 		return nil, fmt.Errorf("harness: snapshot and scenario disagree on controller presence")
+	case sampleDetail != fresh.P.Sample.DetailUs || samplePeriod != fresh.P.Sample.PeriodUs:
+		return nil, fmt.Errorf("harness: snapshot sampling schedule %d/%d differs from scenario's %d/%d",
+			sampleDetail, samplePeriod, fresh.P.Sample.DetailUs, fresh.P.Sample.PeriodUs)
 	}
 
 	fresh.Engine.DecodeState(r)
+	fresh.measureStart = sim.Tick(r.I64())
 	fresh.rng.SetState(r.U64())
 	fresh.Fabric.DecodeState(r)
 	fresh.H.DecodeState(r)
@@ -201,6 +217,7 @@ func (m *Monitor) encodeState(w *codec.Writer) {
 	w.F64(m.lastMemWr)
 	w.Bool(m.collecting)
 	w.Int(m.secs)
+	w.F64(m.detailSecs)
 	w.Bool(m.opts.Devices)
 	w.Bool(m.opts.Occupancy)
 	w.Bool(m.opts.Controller)
@@ -250,6 +267,7 @@ func (m *Monitor) decodeState(r *codec.Reader) {
 	lastMemWr := r.F64()
 	collecting := r.Bool()
 	secs := r.Int()
+	detailSecs := r.F64()
 	opts := SeriesOpts{
 		Devices:    r.Bool(),
 		Occupancy:  r.Bool(),
@@ -309,6 +327,11 @@ func (m *Monitor) decodeState(r *codec.Reader) {
 		win.series = series
 		copy(win.lastProg, lastProg)
 		win.lastNICDrops = lastNICDrops
+		if n := series.Len(); n > 0 {
+			// Re-prime the row scratch from the last recorded row: the
+			// sampled path replicates it across fully skipped seconds.
+			series.Row(n-1, win.row[:0])
+		}
 	}
 	if r.Err() != nil {
 		return
@@ -319,6 +342,7 @@ func (m *Monitor) decodeState(r *codec.Reader) {
 	m.lastMemWr = lastMemWr
 	m.collecting = collecting
 	m.secs = secs
+	m.detailSecs = detailSecs
 	m.progressMark = progressMark
 	m.win = win
 }

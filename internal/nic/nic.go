@@ -229,6 +229,25 @@ func (n *NIC) Step(now sim.Tick, budget int) int {
 	return done
 }
 
+// FastForward implements sim.FastForwarder with the freeze-and-shift model:
+// ring contents are frozen (no packets arrive or drop over the gap — the
+// monitor extrapolates delivery and drop rates from the detailed windows)
+// and the arrival stamps of every ready packet shift with the clock, so
+// queueing latencies booked when the consumer resumes exclude the skipped
+// interval. The DMA engine holds no RNG state, so no draws are accounted.
+func (n *NIC) FastForward(now, dt sim.Tick) {
+	d := float64(dt)
+	for _, r := range n.rings {
+		for i, c := r.tail, r.count; c > 0; c-- {
+			r.stamps[i] += d
+			i++
+			if i == r.Entries {
+				i = 0
+			}
+		}
+	}
+}
+
 func (n *NIC) advanceRing() {
 	n.currentRing = (n.currentRing + 1) % len(n.rings)
 }

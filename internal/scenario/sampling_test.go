@@ -1,0 +1,288 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+
+	"a4sim/internal/harness"
+)
+
+// TestSamplingAbsentKeepsHashes pins the compatibility contract of the
+// sampling block: a spec without one canonicalizes to the exact bytes it
+// did before the field existed (no "sampling" key ever appears), so every
+// content hash, prefix hash, cached snapshot, and golden report minted
+// before sampled mode stays valid. A present block, however, is part of
+// both hashes — sampled and detailed runs must never share a cache entry
+// or a snapshot lineage.
+func TestSamplingAbsentKeepsHashes(t *testing.T) {
+	for _, mix := range BuiltinMixes() {
+		sp, err := BuiltinMix(mix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		can, err := sp.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Contains(can, []byte("sampling")) {
+			t.Errorf("%s: canonical encoding of an unsampled spec leaks a sampling key: %s", mix, can)
+		}
+		h0, err := sp.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p0, err := sp.PrefixHash()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		sampled := sp.Clone()
+		sampled.Sampling = &SamplingSpec{}
+		h1, err := sampled.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p1, err := sampled.PrefixHash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 == h0 {
+			t.Errorf("%s: sampling block must change the content hash", mix)
+		}
+		if p1 == p0 {
+			t.Errorf("%s: sampling block must change the prefix hash (sampled runs need their own snapshot lineage)", mix)
+		}
+
+		// The empty block and the spelled-out default schedule are the same
+		// scenario and must share one hash.
+		explicit := sp.Clone()
+		explicit.Sampling = &SamplingSpec{DetailUs: DefaultSampleDetailUs, PeriodUs: DefaultSamplePeriodUs}
+		if h2, _ := explicit.Hash(); h2 != h1 {
+			t.Errorf("%s: explicit default schedule must hash like the empty block", mix)
+		}
+
+		// Normalize spells the defaults into the block in place.
+		if err := sampled.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		if sampled.Sampling.DetailUs != DefaultSampleDetailUs || sampled.Sampling.PeriodUs != DefaultSamplePeriodUs {
+			t.Errorf("%s: Normalize left sampling defaults unspelled: %+v", mix, sampled.Sampling)
+		}
+
+		// Dropping the block restores the original identity exactly.
+		back := sampled.Clone()
+		back.Sampling = nil
+		if h3, _ := back.Hash(); h3 != h0 {
+			t.Errorf("%s: removing the sampling block must restore the unsampled hash", mix)
+		}
+	}
+}
+
+// TestSamplingSpecValidation pins the schedule constraints: epoch-aligned
+// detail, whole-second period, detail within the period.
+func TestSamplingSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		s    SamplingSpec
+		ok   bool
+	}{
+		{"defaults", SamplingSpec{}, true},
+		{"explicit", SamplingSpec{DetailUs: 200_000, PeriodUs: 1_000_000}, true},
+		{"full-detail", SamplingSpec{DetailUs: 1_000_000, PeriodUs: 1_000_000}, true},
+		{"two-second-period", SamplingSpec{DetailUs: 500_000, PeriodUs: 2_000_000}, true},
+		{"sub-epoch detail", SamplingSpec{DetailUs: 1500, PeriodUs: 1_000_000}, false},
+		{"negative detail", SamplingSpec{DetailUs: -1000, PeriodUs: 1_000_000}, false},
+		{"fractional period", SamplingSpec{DetailUs: 200_000, PeriodUs: 1_500_000}, false},
+		{"detail exceeds period", SamplingSpec{DetailUs: 2_000_000, PeriodUs: 1_000_000}, false},
+	}
+	for _, c := range cases {
+		sp := forkMixSpec(t, "tiny")
+		s := c.s
+		sp.Sampling = &s
+		err := sp.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected validation error: %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: invalid schedule passed validation", c.name)
+		}
+	}
+}
+
+// TestSampledMatchesDetailedWithinBounds is the accuracy property of
+// sampled mode: fork one warm snapshot, run the measurement window detailed
+// on one fork and sampled on the other, and pin per-metric relative error
+// bounds. Both forks start from byte-identical state, so every divergence
+// below is sampling error — the extrapolation model's, not the workloads'.
+//
+// The run deliberately stays at the default rate scale (256) and the
+// open-loop manager: sampling's accuracy contract (DESIGN.md §15) assumes
+// workload dynamics faster than the detail window — at scale 256 the NIC
+// burst period is ~100 ms against the 200 ms window — and an allocation
+// policy that does not feed extrapolated telemetry back into allocation
+// decisions mid-window. The fork-determinism and snapshot tests cover
+// sampled runs under the a4-d controller; this one isolates the
+// extrapolation error itself.
+func TestSampledMatchesDetailedWithinBounds(t *testing.T) {
+	sp, err := BuiltinMix("micro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Manager = "default"
+	sp.WarmupSec = 8
+	sp.MeasureSec = 4
+	sp.Sampling = &SamplingSpec{} // default 200 ms detail per 1 s period
+	if err := sp.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := sp.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Warm(sp.WarmupSec)
+
+	detailed := s.Fork()
+	detailed.P.Sample = harness.SampleSpec{} // strip the schedule: full detail
+	sampled := s.Fork()
+
+	window := func(f *harness.Scenario) *harness.Result {
+		f.BeginMeasure()
+		f.Measure(sp.MeasureSec)
+		return f.EndMeasure()
+	}
+	d := window(detailed)
+	m := window(sampled)
+
+	relErr := func(det, smp float64) float64 {
+		if det == 0 {
+			if smp == 0 {
+				return 0
+			}
+			return 1
+		}
+		e := (smp - det) / det
+		if e < 0 {
+			e = -e
+		}
+		return e
+	}
+	// floor: metrics whose detailed value sits below it are compared
+	// absolutely (|diff| <= floor) — relative error on a near-zero rate
+	// measures noise, not model quality.
+	check := func(name string, det, smp, bound, floor float64) {
+		t.Helper()
+		if det < floor && smp < floor {
+			diff := smp - det
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > floor {
+				t.Errorf("%s: sampled %.6g vs detailed %.6g (both near zero, |diff| > %g)", name, smp, det, floor)
+			}
+			return
+		}
+		if e := relErr(det, smp); e > bound {
+			t.Errorf("%s: sampled %.6g vs detailed %.6g (err %.2f%% > %.0f%%)",
+				name, smp, det, e*100, bound*100)
+		} else {
+			t.Logf("%s: detailed %.6g sampled %.6g err %.2f%%", name, det, smp, e*100)
+		}
+	}
+
+	// Pinned aggregates and their bounds (the issue's ≤5% target).
+	check("mem_read_gbps", d.MemReadGBps, m.MemReadGBps, 0.05, 0)
+	check("mem_write_gbps", d.MemWriteGBps, m.MemWriteGBps, 0.05, 0)
+	for _, wl := range []string{"dpdk-t", "fio", "xmem1", "xmem3"} {
+		dw, mw := d.W(wl), m.W(wl)
+		check(wl+".progress_rate", dw.ProgressRate, mw.ProgressRate, 0.05, 0)
+		check(wl+".llc_hit_rate", dw.LLCHitRate, mw.LLCHitRate, 0.05, 0.01)
+		check(wl+".ipc", dw.IPC, mw.IPC, 0.05, 0.001)
+	}
+	check("fio.io_read_gbps", d.W("fio").IOReadGBps, m.W("fio").IOReadGBps, 0.05, 0)
+}
+
+// TestSampledRunDeterministic pins that sampled mode keeps the simulator's
+// core property: the same sampled spec renders byte-identical reports on
+// every run, and forking mid-measurement (straddling detailed windows and
+// fast-forward gaps) stays on the same trajectory.
+func TestSampledRunDeterministic(t *testing.T) {
+	sp := forkMixSpec(t, "tiny")
+	sp.Sampling = &SamplingSpec{}
+	sp.Series = &SeriesSpec{}
+
+	rep, err := sp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := sp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := rep2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fresh, again) {
+		t.Fatalf("sampled run is not deterministic\nfirst:  %s\nsecond: %s", fresh, again)
+	}
+
+	total := int(sp.WarmupSec + sp.MeasureSec)
+	for k := 1; k < total; k++ {
+		if got := runForkedAt(t, sp, k); !bytes.Equal(got, fresh) {
+			t.Errorf("sampled fork at t=%ds diverged from fresh run\nfresh: %s\nfork:  %s", k, fresh, got)
+		}
+	}
+}
+
+// TestSampledSnapshotRoundTrip extends the snapshot-codec property to
+// sampled runs: a snapshot taken mid-measurement of a sampled window (new
+// fast-forward state, schedule fingerprint, and extrapolation trackers all
+// on the wire) decodes onto a fresh skeleton and finishes byte-identical
+// to the uninterrupted sampled run.
+func TestSampledSnapshotRoundTrip(t *testing.T) {
+	sp := snapMixSpec(t, "tiny")
+	sp.Sampling = &SamplingSpec{}
+
+	rep, err := sp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := int(sp.WarmupSec)
+	for _, k := range []int{1, warm + 1} {
+		if got := runSnapRoundTripAt(t, sp, k); !bytes.Equal(got, fresh) {
+			t.Errorf("sampled snapshot round trip at t=%ds diverged\nfresh: %s\ngot:   %s", k, fresh, got)
+		}
+	}
+
+	// A sampled snapshot must refuse to restore onto a detailed scenario
+	// (and vice versa): the schedules produce different futures, so the
+	// fingerprint keeps the lineages apart.
+	run := sp.Clone()
+	if err := run.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := run.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Warm(1)
+	data, err := s.Snapshot().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := sp.Clone()
+	det.Sampling = nil
+	if _, err := harness.DecodeSnapshot(data, startSkeleton(t, det)); err == nil {
+		t.Error("sampled snapshot decoded onto a detailed scenario")
+	} else {
+		t.Logf("cross-schedule restore rejected: %v", err)
+	}
+}

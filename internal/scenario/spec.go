@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 
@@ -44,7 +45,36 @@ type Spec struct {
 	// hashes — exactly what they were before the field existed, so every
 	// cached report stays addressable.
 	Series *SeriesSpec `json:"series,omitempty"`
+	// Sampling, when present, runs the measurement window in sampled mode:
+	// of every period_us of measured time the first detail_us execute in
+	// full detail and the remainder fast-forwards, with per-second metrics
+	// extrapolated from the detailed windows (warm-up is always detailed).
+	// Absent means fully detailed execution and leaves the canonical
+	// encoding — and therefore the content and prefix hashes — exactly what
+	// they were before the field existed, so every cached report and golden
+	// stays addressable. When present it is part of the prefix hash: sampled
+	// and detailed runs produce different warm state, so they must not share
+	// snapshot lineages.
+	Sampling *SamplingSpec `json:"sampling,omitempty"`
 }
+
+// SamplingSpec is the JSON view of the harness sampling schedule
+// (harness.SampleSpec). Zero fields take the default schedule.
+type SamplingSpec struct {
+	// DetailUs is the detailed interval per period in simulated µs: a
+	// positive multiple of 1000 (the epoch length). Default 200000 (200 ms).
+	DetailUs int64 `json:"detail_us,omitempty"`
+	// PeriodUs is the schedule period in simulated µs: a multiple of
+	// 1000000 (one second), at least DetailUs. Default 1000000 (1 s).
+	PeriodUs int64 `json:"period_us,omitempty"`
+}
+
+// Default sampling schedule: 200 ms of detail per second, a 5× ideal
+// speedup, enough to cover two NIC burst periods per detailed window.
+const (
+	DefaultSampleDetailUs = 200_000
+	DefaultSamplePeriodUs = 1_000_000
+)
 
 // SeriesSpec selects the telemetry column groups recorded at 1 Hz during
 // the measurement window and exported with the report.
@@ -207,6 +237,12 @@ func (sp *Spec) Normalize() error {
 			w.Priority = "lpw"
 		}
 	}
+	if sp.Sampling != nil {
+		// Spell out the default schedule so equivalent blocks share a hash.
+		eff := sp.sampleSpec()
+		sp.Sampling.DetailUs = eff.DetailUs
+		sp.Sampling.PeriodUs = eff.PeriodUs
+	}
 	if sp.Series != nil {
 		// Fold case, duplicates, and the empty all-groups shorthand to one
 		// canonical sorted list, so equivalent selections share one hash.
@@ -311,6 +347,10 @@ func (sp *Spec) Clone() *Spec {
 	if sp.Series != nil {
 		c.Series = &SeriesSpec{Metrics: append([]string(nil), sp.Series.Metrics...)}
 	}
+	if sp.Sampling != nil {
+		sc := *sp.Sampling
+		c.Sampling = &sc
+	}
 	return &c
 }
 
@@ -338,6 +378,17 @@ func (sp *Spec) Validate() error {
 			if !validSeriesGroup(strings.ToLower(m)) {
 				return fmt.Errorf("scenario: unknown series metric group %q (have %v)", m, SeriesGroups)
 			}
+		}
+	}
+	if sp.Sampling != nil {
+		if err := sp.sampleSpec().Validate(); err != nil {
+			return err
+		}
+		// Whole-second windows keep the schedule's periods (whole seconds by
+		// construction) tiling the measurement window exactly.
+		if sp.WarmupSec != math.Trunc(sp.WarmupSec) || sp.MeasureSec != math.Trunc(sp.MeasureSec) {
+			return fmt.Errorf("scenario: sampling needs whole-second windows (warmup %g, measure %g)",
+				sp.WarmupSec, sp.MeasureSec)
 		}
 	}
 	numCores := harness.DefaultParams().Hierarchy.NumCores
@@ -411,7 +462,24 @@ func (sp *Spec) harnessParams() harness.Params {
 	if sp.Params.SSDGBps > 0 {
 		p.SSDGBps = sp.Params.SSDGBps
 	}
+	p.Sample = sp.sampleSpec()
 	return p
+}
+
+// sampleSpec resolves the spec's sampling block (nil means disabled, zero
+// fields mean the default schedule) to the harness schedule.
+func (sp *Spec) sampleSpec() harness.SampleSpec {
+	if sp.Sampling == nil {
+		return harness.SampleSpec{}
+	}
+	s := harness.SampleSpec{DetailUs: sp.Sampling.DetailUs, PeriodUs: sp.Sampling.PeriodUs}
+	if s.DetailUs == 0 {
+		s.DetailUs = DefaultSampleDetailUs
+	}
+	if s.PeriodUs == 0 {
+		s.PeriodUs = DefaultSamplePeriodUs
+	}
+	return s
 }
 
 // Build validates the spec and constructs the scenario with every workload

@@ -57,17 +57,50 @@ type Observer interface {
 	OnSecond(now Tick)
 }
 
+// FastForwarder is an actor that can advance its statistical state across a
+// skipped interval without per-operation detail — the functional-warming
+// half of sampled execution. FastForward(now, dt) must leave the actor in a
+// state representative of having idled from now to now+dt under the
+// freeze-and-shift model: queued work and cache-resident state stay frozen
+// (the post-warm-up steady state is the drift model), queued timestamps
+// shift by dt so latency measurements never absorb skipped time, and RNG
+// streams advance by the number of draws the skipped work would have
+// consumed (RNG.Skip), so a fast-forwarded run remains deterministic and a
+// Fork taken afterwards is byte-identical to a fork of any other run that
+// reached the same state. FastForward must not perform hierarchy accesses
+// or charge performance counters: metric extrapolation is the monitor's
+// job, keyed off Engine.SkippedTicks.
+type FastForwarder interface {
+	Actor
+	FastForward(now Tick, dt Tick)
+}
+
 // Engine owns simulated time and the actor/observer sets.
 type Engine struct {
 	now       Tick
 	actors    []Actor
 	observers []Observer
 	rng       *RNG
-	carry     []float64 // fractional op budget carried between epochs, per actor
-	budgets   []int     // per-epoch scratch, reused across RunEpochs calls
+	carry     []float64     // fractional op budget carried between epochs, per actor
+	budgets   []int         // per-epoch scratch, reused across RunEpochs calls
+	active    []actorShares // per-epoch scratch for the batched dispatcher
+
+	// ffSkipped counts the ticks of the current simulated second that were
+	// fast-forwarded rather than executed in detail. Observers read it via
+	// SkippedTicks during OnSecond to scale per-second deltas; it resets to
+	// zero after each second's observers fire.
+	ffSkipped Tick
 
 	// Stop, when set by an observer or actor callback, ends Run early.
 	stopped bool
+}
+
+// actorShares is one epoch's dispatch entry for an actor with a non-zero
+// budget: its index plus the budget split across interleave slices
+// (quotient and remainder), precomputed once per epoch instead of per slice.
+type actorShares struct {
+	idx  int32
+	q, r int32
 }
 
 // NewEngine returns an engine with simulated time at zero.
@@ -126,8 +159,16 @@ func (e *Engine) Fork(actors []Actor, observers []Observer) *Engine {
 		observers: append([]Observer(nil), observers...),
 		rng:       e.rng.Clone(),
 		carry:     append([]float64(nil), e.carry...),
+		ffSkipped: e.ffSkipped,
 	}
 }
+
+// SkippedTicks returns how many ticks of the current simulated second were
+// fast-forwarded rather than executed in detail. It is meaningful during an
+// OnSecond callback (where TicksPerSecond - SkippedTicks() is the detailed
+// portion of the just-ended second) and is zero whenever no fast-forwarding
+// happened, so observers can branch to extrapolation only in sampled runs.
+func (e *Engine) SkippedTicks() Tick { return e.ffSkipped }
 
 // Run advances simulated time by the given number of simulated seconds.
 // Fractional seconds convert to epochs by rounding half-up: Run(0.29) runs
@@ -138,12 +179,17 @@ func (e *Engine) Fork(actors []Actor, observers []Observer) *Engine {
 // call and accumulates).
 func (e *Engine) Run(seconds float64) {
 	epochs := int(math.Floor(seconds*EpochsPerSecond + 0.5))
-	e.RunEpochs(epochs)
+	e.RunEpochsBatched(epochs)
 }
 
 // RunEpochs advances simulated time by the given number of epochs. A pending
 // Stop from before the call is discarded: Stop ends the Run it interrupts,
 // it does not latch future Runs into no-ops.
+//
+// RunEpochs is the reference dispatcher: the straight-line loop whose Step
+// call sequence defines the engine's semantics. Run goes through
+// RunEpochsBatched, which produces the identical sequence with the
+// bookkeeping amortized (pinned by TestRunEpochsBatchedEquivalence).
 func (e *Engine) RunEpochs(epochs int) {
 	e.stopped = false
 	if cap(e.budgets) < len(e.actors) {
@@ -177,6 +223,107 @@ func (e *Engine) RunEpochs(epochs int) {
 			for _, o := range e.observers {
 				o.OnSecond(e.now)
 			}
+			e.ffSkipped = 0
+		}
+	}
+}
+
+// sliceOffsets are the slice start times within an epoch, hoisted out of the
+// dispatch loop.
+var sliceOffsets = func() [InterleaveSlices]Tick {
+	var o [InterleaveSlices]Tick
+	for s := range o {
+		o[s] = Tick(s * TicksPerEpoch / InterleaveSlices)
+	}
+	return o
+}()
+
+// RunEpochsBatched advances simulated time by the given number of epochs
+// with the dispatch bookkeeping amortized. The Step call sequence — which
+// actors, in which order, at which slice times, with which budgets — is
+// byte-identical to RunEpochs; only the loop overhead differs:
+//
+//   - each actor's per-slice share split (quotient/remainder) is computed
+//     once per epoch instead of div/mod per slice,
+//   - zero-budget actors (a burst-shaped NIC outside its window, an idle
+//     SSD) are filtered out before the slice loop instead of being
+//     re-examined in all InterleaveSlices passes, and
+//   - the second-boundary check is an epoch countdown instead of a modulo
+//     of the tick clock.
+func (e *Engine) RunEpochsBatched(epochs int) {
+	e.stopped = false
+	if cap(e.active) < len(e.actors) {
+		e.active = make([]actorShares, len(e.actors))
+	}
+	toBoundary := EpochsPerSecond - int(e.now%TicksPerSecond)/TicksPerEpoch
+	for ep := 0; ep < epochs && !e.stopped; ep++ {
+		active := e.active[:0]
+		for i, a := range e.actors {
+			want := a.OpsPerSecond(e.now)/EpochsPerSecond + e.carry[i]
+			b := int(want)
+			e.carry[i] = want - float64(b)
+			if b > 0 {
+				active = append(active, actorShares{
+					idx: int32(i),
+					q:   int32(b / InterleaveSlices),
+					r:   int32(b % InterleaveSlices),
+				})
+			}
+		}
+		for s := int32(0); s < InterleaveSlices; s++ {
+			sliceTick := e.now + sliceOffsets[s]
+			for _, as := range active {
+				share := as.q
+				if s < as.r {
+					share++
+				}
+				if share > 0 {
+					e.actors[as.idx].Step(sliceTick, int(share))
+				}
+			}
+		}
+		e.now += TicksPerEpoch
+		toBoundary--
+		if toBoundary == 0 {
+			for _, o := range e.observers {
+				o.OnSecond(e.now)
+			}
+			e.ffSkipped = 0
+			toBoundary = EpochsPerSecond
+		}
+	}
+}
+
+// FastForward advances simulated time by the given number of epochs without
+// detailed execution: every actor's FastForward hook runs once per chunk
+// (chunks never straddle a second boundary), observers still fire at every
+// second boundary, and SkippedTicks reports the skipped portion of the
+// second to them. Actors that do not implement FastForwarder panic by name —
+// the harness validates the actor set before scheduling any gap. A pending
+// Stop is discarded on entry, exactly as in RunEpochs.
+func (e *Engine) FastForward(epochs int) {
+	e.stopped = false
+	for epochs > 0 && !e.stopped {
+		chunk := EpochsPerSecond - int(e.now%TicksPerSecond)/TicksPerEpoch
+		if chunk > epochs {
+			chunk = epochs
+		}
+		dt := Tick(chunk) * TicksPerEpoch
+		for _, a := range e.actors {
+			ff, ok := a.(FastForwarder)
+			if !ok {
+				panic(fmt.Sprintf("sim: actor %s does not implement FastForwarder", a.Name()))
+			}
+			ff.FastForward(e.now, dt)
+		}
+		e.now += dt
+		e.ffSkipped += dt
+		epochs -= chunk
+		if e.now%TicksPerSecond == 0 {
+			for _, o := range e.observers {
+				o.OnSecond(e.now)
+			}
+			e.ffSkipped = 0
 		}
 	}
 }

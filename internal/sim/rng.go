@@ -48,6 +48,16 @@ func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
+// Skip advances the stream past n draws in O(1). The splitmix64 state moves
+// by a fixed increment per draw, so skipping is a single multiply-add; after
+// Skip(n) the generator produces exactly the values it would have produced
+// after n discarded Uint64 calls. Fast-forwarding actors use this to account
+// for the draws their skipped work would have consumed, keeping sampled and
+// detailed executions on the same deterministic stream.
+func (r *RNG) Skip(n uint64) {
+	r.state += n * 0x9e3779b97f4a7c15
+}
+
 // Fork derives an independent child generator. Children seeded from distinct
 // parents (or successive Fork calls) produce uncorrelated streams.
 func (r *RNG) Fork() *RNG {

@@ -19,6 +19,7 @@ func (e *Engine) EncodeState(w *codec.Writer) {
 	w.I64(int64(e.now))
 	w.U64(e.rng.state)
 	w.F64s(e.carry)
+	w.I64(int64(e.ffSkipped))
 }
 
 // DecodeState restores state written by EncodeState. The carry count must
@@ -29,6 +30,7 @@ func (e *Engine) DecodeState(r *codec.Reader) {
 	now := r.I64()
 	rngState := r.U64()
 	carry := r.F64s()
+	ffSkipped := r.I64()
 	if r.Err() != nil {
 		return
 	}
@@ -39,5 +41,6 @@ func (e *Engine) DecodeState(r *codec.Reader) {
 	e.now = Tick(now)
 	e.rng.state = rngState
 	copy(e.carry, carry)
+	e.ffSkipped = Tick(ffSkipped)
 	e.stopped = false
 }

@@ -164,6 +164,23 @@ func (s *SSD) DrainFor(wl pcm.WorkloadID) []*Command {
 	return mine
 }
 
+// FastForward implements sim.FastForwarder with the freeze-and-shift model:
+// the service queue is frozen (no lines move, no commands complete — the
+// monitor extrapolates device throughput from the detailed windows) and
+// every queued timestamp shifts with the clock, so submit-to-complete
+// latencies observed after the gap exclude the skipped interval. The array
+// holds no RNG state, so no draws are accounted.
+func (s *SSD) FastForward(now, dt sim.Tick) {
+	d := float64(dt)
+	for _, c := range s.inflight {
+		c.Submit += d
+	}
+	for _, c := range s.done {
+		c.Submit += d
+		c.Complete += d
+	}
+}
+
 // Step services up to budget line-times across the in-flight queue.
 func (s *SSD) Step(now sim.Tick, budget int) int {
 	if len(s.inflight) == 0 || budget <= 0 {

@@ -38,6 +38,9 @@ func (s *Synthetic) EncodeState(w *codec.Writer) {
 	s.Base.encodeState(w)
 	w.Int(s.rr)
 	w.F64(s.instAcc)
+	w.I64(s.obsAcc)
+	w.I64(s.obsCyc)
+	w.F64(s.ffAcc)
 	w.U64(s.rng.State())
 	unique, slotIdx := s.streamTable()
 	w.Int(len(slotIdx))
@@ -74,6 +77,9 @@ func (s *Synthetic) DecodeState(r *codec.Reader) {
 	s.Base.decodeState(r)
 	rr := r.Int()
 	instAcc := r.F64()
+	obsAcc := r.I64()
+	obsCyc := r.I64()
+	ffAcc := r.F64()
 	rngState := r.U64()
 	nSlots := r.Int()
 	if r.Err() != nil {
@@ -105,6 +111,9 @@ func (s *Synthetic) DecodeState(r *codec.Reader) {
 	}
 	s.rr = rr
 	s.instAcc = instAcc
+	s.obsAcc = obsAcc
+	s.obsCyc = obsCyc
+	s.ffAcc = ffAcc
 	s.rng.SetState(rngState)
 }
 

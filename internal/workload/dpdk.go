@@ -109,6 +109,13 @@ func (d *DPDK) ResetLatency() {
 	d.procLat.Reset()
 }
 
+// FastForward implements sim.FastForwarder as a documented no-op: the poll
+// loop owns no timestamps — packet arrival stamps live in the NIC rings,
+// which rebase them in their own FastForward during the same pass — and a
+// frozen pipeline adds nothing to the latency reservoirs, so their sampling
+// streams consume no draws over the gap.
+func (d *DPDK) FastForward(now, dt sim.Tick) {}
+
 // Step implements sim.Actor: poll rings and process packets until the cycle
 // budget is spent.
 func (d *DPDK) Step(now sim.Tick, budget int) int {

@@ -178,6 +178,28 @@ func (f *FIO) ResetLatency() {
 	f.procLat.Reset()
 }
 
+// FastForward implements sim.FastForwarder with the freeze-and-shift model:
+// the I/O pipeline (queued completions and the block each thread is
+// mid-regex over) is frozen in place, and every workload-owned timestamp
+// moves with the clock so latencies booked when processing resumes exclude
+// the skipped interval. Commands still inside the device are shifted by the
+// SSD's own FastForward. No RNG draws are skipped: submissions only happen
+// on completion, and a frozen pipeline completes nothing.
+func (f *FIO) FastForward(now, dt sim.Tick) {
+	d := float64(dt)
+	for t := range f.cores {
+		if f.curCmd[t] != nil {
+			f.curCmd[t].Submit += d
+			f.curCmd[t].Complete += d
+			f.curStarted[t] += d
+		}
+		for _, c := range f.completed[t] {
+			c.Submit += d
+			c.Complete += d
+		}
+	}
+}
+
 // submit issues a fresh command for thread t, slot q.
 func (f *FIO) submit(t, q int, now float64) {
 	op := ssd.OpRead

@@ -186,6 +186,21 @@ func (s *Stream) clone() *Stream {
 	return &n
 }
 
+// skip advances the stream past n accesses without producing addresses: the
+// random and Zipf patterns consume exactly one RNG draw per Next call, so
+// skipping is an O(1) RNG.Skip; the sequential pattern moves its cursor
+// modulo the working set. After skip(n) the stream produces the same
+// addresses it would after n discarded Next calls — the fast-forward path's
+// draw accounting depends on this equivalence.
+func (s *Stream) skip(n uint64) {
+	switch s.Pattern {
+	case Random, Zipf:
+		s.rng.Skip(n)
+	default:
+		s.pos = (s.pos + n) % s.Lines
+	}
+}
+
 // Next returns the next line address.
 func (s *Stream) Next() uint64 {
 	switch s.Pattern {

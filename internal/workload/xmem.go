@@ -39,6 +39,12 @@ type Synthetic struct {
 	rng     *sim.RNG
 	rr      int
 	instAcc float64
+	// Observed detailed-mode totals (accesses issued, cycles spent) feed the
+	// fast-forward extrapolation; ffAcc carries the fractional access count
+	// across gaps so long sampled runs stay unbiased.
+	obsAcc int64
+	obsCyc int64
+	ffAcc  float64
 }
 
 // NewSynthetic builds a compute workload. Each core receives a private
@@ -88,6 +94,9 @@ func (s *Synthetic) Fork(h *hierarchy.Hierarchy) *Synthetic {
 		rng:     s.rng.Clone(),
 		rr:      s.rr,
 		instAcc: s.instAcc,
+		obsAcc:  s.obsAcc,
+		obsCyc:  s.obsCyc,
+		ffAcc:   s.ffAcc,
 	}
 	n.cfg.Cores = append([]int(nil), s.cfg.Cores...)
 	clones := make(map[*Stream]*Stream, len(s.streams))
@@ -130,7 +139,51 @@ func (s *Synthetic) Step(now sim.Tick, budget int) int {
 	}
 	s.charge(inst, int64(spent))
 	s.progress += inst
+	// inst grows by exactly InstrPerOp+1 per access, so the access count is
+	// recoverable without an inner-loop counter.
+	s.obsAcc += inst / int64(s.cfg.InstrPerOp+1)
+	s.obsCyc += int64(spent)
 	return spent
+}
+
+// FastForward implements sim.FastForwarder. It advances the workload's RNG
+// and stream cursors past the accesses its cycle budget would have issued
+// over dt, without touching the hierarchy, the pcm fabric, or the progress
+// counter (the monitor extrapolates those from the detailed windows). The
+// access count is the cycle budget for dt times the observed detailed-mode
+// access/cycle rate, with a fractional carry. Draw accounting mirrors Step
+// exactly: one stream draw per access for random and Zipf patterns plus one
+// write-mix draw per access when WriteFrac > 0, distributed round-robin
+// across core slots so per-slot stream cursors land where detailed
+// execution's interleaving would put them.
+func (s *Synthetic) FastForward(now, dt sim.Tick) {
+	if s.obsCyc == 0 {
+		return
+	}
+	cycles := s.cyclesPS * float64(dt) / sim.TicksPerSecond
+	want := cycles*float64(s.obsAcc)/float64(s.obsCyc) + s.ffAcc
+	n := uint64(want)
+	s.ffAcc = want - float64(n)
+	if n == 0 {
+		return
+	}
+	slots := uint64(len(s.cores))
+	start := uint64(s.rr) % slots
+	for j := uint64(0); j < slots; j++ {
+		cnt := n / slots
+		if (j+slots-start)%slots < n%slots {
+			cnt++
+		}
+		if cnt > 0 {
+			// Under SharedWS all slots alias one Stream; per-slot skips
+			// accumulate to the same total n draws Step would have made.
+			s.streams[j].skip(cnt)
+		}
+	}
+	s.rr += int(n)
+	if s.cfg.WriteFrac > 0 {
+		s.rng.Skip(n)
+	}
 }
 
 // XMemConfig describes one X-Mem instance (Table 3 of the paper).

@@ -56,6 +56,33 @@ obs_overhead=$(echo "$obs_raw" | awk '
 	END { if (off > 0 && on > 0) printf "%.2f", (on - off) * 100 / off; else printf "0" }')
 echo "obs_overhead_pct=$obs_overhead"
 
+# Sampled-execution win: detailed over sampled ns/op for the same measured
+# second (BenchmarkScenarioSecondSampled, default 200 ms detail per 1 s
+# period — ideal 5x). bench_gate.sh fails the build below 1.8x.
+sampled_raw=$(go test -run '^$' -bench '^BenchmarkScenarioSecondSampled$' \
+	-benchtime "${SAMPLED_BENCHTIME:-4x}" .)
+echo "$sampled_raw" | grep '^BenchmarkScenarioSecondSampled' || true
+sampled_speedup=$(echo "$sampled_raw" | awk '
+	/^BenchmarkScenarioSecondSampled\/detailed/ {det = $3}
+	/^BenchmarkScenarioSecondSampled\/sampled/  {smp = $3}
+	END { if (det > 0 && smp > 0) printf "%.2f", det / smp; else printf "0" }')
+echo "sampled_speedup=$sampled_speedup"
+
+# Sampled-mode accuracy: the worst pinned-aggregate relative error between
+# detailed and sampled measurement windows forked from one warm snapshot
+# (TestSampledMatchesDetailedWithinBounds logs one "err N%" per metric).
+# Informational — the test itself enforces the per-metric 5% bounds, so the
+# gate does not read this key; it is recorded for the perf trajectory.
+sampled_error=$(go test -run '^TestSampledMatchesDetailedWithinBounds$' -v ./internal/scenario 2>/dev/null | awk '
+	/ err / {
+		for (i = 2; i <= NF; i++) if ($(i-1) == "err" && $i ~ /%$/) {
+			v = $i; sub(/%/, "", v)
+			if (v + 0 > max) max = v + 0
+		}
+	}
+	END { printf "%.2f", max }')
+echo "sampled_error_pct=$sampled_error"
+
 # Serving throughput: start a throwaway daemon, loadgen against it, parse
 # the service_cached_rps line (plus the client-side latency percentiles the
 # loadgen's merged HDR histogram reports). Guarded so a sandboxed
@@ -160,6 +187,8 @@ fi
 	echo "  \"sweep_fork_speedup\": ${fork_speedup},"
 	echo "  \"series_overhead_pct\": ${series_overhead},"
 	echo "  \"obs_overhead_pct\": ${obs_overhead},"
+	echo "  \"sampled_speedup\": ${sampled_speedup},"
+	echo "  \"sampled_error_pct\": ${sampled_error},"
 	echo '  "benchmarks": {'
 	echo "$raw" | awk '
 		/^Benchmark/ {
