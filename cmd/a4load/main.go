@@ -1,0 +1,236 @@
+// Command a4load is the load harness for a4serve: an open-loop generator
+// with pluggable arrival processes, a mixed request population drawn from
+// the scenario registry, per-class latency histograms, and a saturation
+// search that finds the highest arrival rate a deployment sustains under
+// a p99 latency SLO.
+//
+// One-shot curve (offer a fixed rate, report the latency distribution):
+//
+//	a4load -url http://localhost:8044 -rate 200 -duration 10s -arrival poisson
+//
+// Saturation search (binary-search the knee under an SLO):
+//
+//	a4load -url http://localhost:8044 -search -slo-p99-ms 50
+//
+// Plan inspection (print the byte-reproducible request schedule, no
+// server needed):
+//
+//	a4load -rate 50 -duration 5s -seed 7 -plan
+//
+// The generator is open loop: the schedule is computed up front from a
+// seeded RNG and does not slow down when the server does. Runs whose
+// scheduling lag exceeds -lag-bound-ms are flagged dishonest — the
+// configured rate was not truly offered — and the saturation search
+// treats them as unsustainable.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"a4sim/internal/loadgen"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	url := flag.String("url", "http://localhost:8044", "target daemon or coordinator")
+	rate := flag.Float64("rate", 50, "offered arrival rate in requests/second (one-shot mode)")
+	duration := flag.Duration("duration", 10*time.Second, "measurement window (one-shot mode)")
+	arrival := flag.String("arrival", loadgen.ArrivalConstant,
+		fmt.Sprintf("arrival process: one of %v", loadgen.Arrivals))
+	seed := flag.Uint64("seed", 1, "RNG seed: same seed, same request schedule, byte for byte")
+	mixFlag := flag.String("mix", "", "request-class weights, e.g. 'cached-hit=0.6,fresh-run=0.4' (default: built-in mix)")
+	inflight := flag.Int("inflight", loadgen.DefaultMaxInflight, "max outstanding requests (the open-loop honesty cap)")
+	lagBound := flag.Float64("lag-bound-ms", loadgen.DefaultLagBoundMs, "p99 scheduling-lag bound for an honest run")
+	timeout := flag.Duration("timeout", loadgen.DefaultTimeout, "per-request timeout")
+	jsonPath := flag.String("json", "", "write the result as canonical JSON to this path ('-' for stdout)")
+	planOnly := flag.Bool("plan", false, "print the precomputed request plan as JSON and exit (no requests sent)")
+	search := flag.Bool("search", false, "saturation-search mode: find the max sustainable rate under -slo-p99-ms")
+	sloP99 := flag.Float64("slo-p99-ms", 0, "search: p99 latency SLO in milliseconds (required with -search)")
+	minRate := flag.Float64("min-rate", 4, "search: starting rate")
+	maxRate := flag.Float64("max-rate", 4096, "search: rate ceiling")
+	probeDur := flag.Duration("probe", 5*time.Second, "search: per-probe measurement window")
+	tol := flag.Float64("tol", 0.1, "search: stop when the rate bracket is within this relative width")
+	maxErr := flag.Float64("max-error-rate", 0.01, "search: per-probe error budget")
+	flag.Parse()
+
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "a4load:", err)
+		return 2
+	}
+	cfg := loadgen.Config{
+		URL:         *url,
+		Rate:        *rate,
+		Duration:    *duration,
+		Arrival:     *arrival,
+		Seed:        *seed,
+		Mix:         mix,
+		MaxInflight: *inflight,
+		LagBoundMs:  *lagBound,
+		Timeout:     *timeout,
+	}
+
+	if *planOnly {
+		plan, err := loadgen.BuildPlan(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "a4load:", err)
+			return 2
+		}
+		data, err := plan.Encode()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "a4load:", err)
+			return 2
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+		return 0
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	if *search {
+		return runSearch(ctx, cfg, *sloP99, *minRate, *maxRate, *probeDur, *tol, *maxErr, *jsonPath)
+	}
+	return runOnce(ctx, cfg, *jsonPath)
+}
+
+func runOnce(ctx context.Context, cfg loadgen.Config, jsonPath string) int {
+	res, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "a4load:", err)
+		return 1
+	}
+	fmt.Printf("a4load: offered %d sent %d in %.2fs (arrival=%s rate=%g)\n",
+		res.Offered, res.Sent, res.ElapsedSec, res.Arrival, res.Rate)
+	for _, class := range res.ClassNames() {
+		for _, outcome := range outcomeOrder {
+			h := res.Classes[class][outcome]
+			if h == nil || h.Count() == 0 {
+				continue
+			}
+			fmt.Printf("a4load: %-11s %-9s n=%-6d p50=%.3fms p99=%.3fms\n",
+				class, outcome, h.Count(), h.Quantile(0.50)/1000, h.Quantile(0.99)/1000)
+		}
+	}
+	fmt.Printf("a4load: lag p99=%.3fms bound=%gms honest=%v error_rate=%.4f\n",
+		res.LagP99Ms(), res.LagBoundMs, res.Honest(), res.ErrorRate())
+	fmt.Printf("loadgen_offered_rps=%.2f\n", res.Rate)
+	fmt.Printf("loadgen_p99_ms=%.3f\n", res.P99Ms())
+	if err := writeJSON(jsonPath, res.WriteJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "a4load:", err)
+		return 1
+	}
+	if !res.Honest() {
+		fmt.Fprintln(os.Stderr, "a4load: run was not honest: scheduling lag exceeded the bound (rate not truly offered)")
+		return 1
+	}
+	return 0
+}
+
+func runSearch(ctx context.Context, cfg loadgen.Config, sloP99, minRate, maxRate float64,
+	probeDur time.Duration, tol, maxErr float64, jsonPath string) int {
+	if sloP99 <= 0 {
+		fmt.Fprintln(os.Stderr, "a4load: -search requires -slo-p99-ms > 0")
+		return 2
+	}
+	sr, err := loadgen.Search(ctx, loadgen.SearchConfig{
+		Load:          cfg,
+		SLOP99Ms:      sloP99,
+		MinRate:       minRate,
+		MaxRate:       maxRate,
+		ProbeDuration: probeDur,
+		Tolerance:     tol,
+		MaxErrorRate:  maxErr,
+	})
+	if sr != nil {
+		for _, p := range sr.Probes {
+			verdict := "over"
+			if p.Sustainable {
+				verdict = "ok"
+			}
+			fmt.Printf("a4load: probe rate=%-8.2f p99=%.3fms lag_p99=%.3fms errors=%.4f %s\n",
+				p.Rate, p.P99Ms, p.LagP99Ms, p.ErrorRate, verdict)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "a4load:", err)
+		return 1
+	}
+	fmt.Printf("a4load: converged=%v probes=%d slo_p99_ms=%g\n", sr.Converged, len(sr.Probes), sr.SLOP99Ms)
+	fmt.Printf("loadgen_sustained_rps=%.2f\n", sr.SustainedRPS)
+	fmt.Printf("loadgen_p99_ms_at_slo=%.3f\n", sr.P99MsAtSLO)
+	if err := writeJSON(jsonPath, func(w io.Writer) error {
+		data, err := sr.Encode()
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(append(data, '\n'))
+		return err
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "a4load:", err)
+		return 1
+	}
+	if sr.SustainedRPS <= 0 {
+		fmt.Fprintln(os.Stderr, "a4load: no sustainable rate found (even -min-rate missed the SLO)")
+		return 1
+	}
+	return 0
+}
+
+var outcomeOrder = []string{
+	loadgen.OutcomeOK, loadgen.OutcomeClient, loadgen.OutcomeRejected,
+	loadgen.OutcomeServer, loadgen.OutcomeTransport,
+}
+
+// writeJSON routes a result writer to the -json destination: nothing,
+// stdout ("-"), or a file.
+func writeJSON(path string, write func(io.Writer) error) error {
+	if path == "" {
+		return nil
+	}
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// parseMix parses 'class=weight,class=weight' into a mix map.
+func parseMix(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	mix := map[string]float64{}
+	for _, part := range strings.Split(s, ",") {
+		class, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -mix entry %q (want class=weight)", part)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -mix weight in %q: %v", part, err)
+		}
+		mix[strings.TrimSpace(class)] = w
+	}
+	return mix, nil
+}

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -120,19 +121,15 @@ func TestClusterEndpointMatchesSingleNode(t *testing.T) {
 	if err := json.Unmarshal(runBody, &rr); err != nil {
 		t.Fatal(err)
 	}
-	resp2, err := http.Get(coord.URL + "/result/" + rr.Hash)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp2.Body.Close()
-	if resp2.StatusCode != http.StatusOK {
-		t.Errorf("coordinator /result/<hash> status %d", resp2.StatusCode)
+	client := service.NewClient(coord.URL, nil)
+	if _, err := client.Result(rr.Hash); err != nil {
+		t.Errorf("coordinator /result/<hash>: %v", err)
 	}
 
 	// Error taxonomy round-trips through the coordinator: a bad spec is the
-	// same 422 a single node answers.
-	code, _ = postBody(t, coord.URL+"/run", []byte(`{"manager": "bogus", "workloads": [{"kind": "xmem", "cores": [0]}]}`))
-	if code != http.StatusUnprocessableEntity {
-		t.Errorf("coordinator bad-spec /run status %d, want 422", code)
+	// same 422 APIError a single node answers.
+	var ae *service.APIError
+	if _, err := client.RunBytes([]byte(`{"manager": "bogus", "workloads": [{"kind": "xmem", "cores": [0]}]}`)); !errors.As(err, &ae) || ae.Status != http.StatusUnprocessableEntity {
+		t.Errorf("coordinator bad-spec /run err = %v, want APIError status 422", err)
 	}
 }

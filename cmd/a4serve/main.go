@@ -43,33 +43,25 @@
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"net/http"
 	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"a4sim/internal/cluster"
+	"a4sim/internal/loadgen"
 	"a4sim/internal/scenario"
 	"a4sim/internal/service"
-	"a4sim/internal/stats"
 	"a4sim/internal/store"
 )
-
-// loadgenClient bounds every loadgen request so a wedged daemon cannot
-// hang the generator (and scripts/bench.sh behind it) forever.
-var loadgenClient = &http.Client{Timeout: 60 * time.Second}
 
 func main() {
 	addr := flag.String("addr", ":8044", "listen address")
@@ -176,200 +168,20 @@ func main() {
 	fmt.Println("a4serve: drained, exiting")
 }
 
-// runLoadgen drives a daemon with a mix of repeated and fresh specs. The
-// repeated ones model a fleet asking popular questions (cache-served); the
-// fresh ones vary the seed so they must execute. Prints overall and
-// cache-served throughput in a bench.sh-parseable form. Against a cluster
-// coordinator the /stats deltas are fleet-wide sums, so the same arithmetic
-// holds unchanged.
+// runLoadgen is a deprecation shim over internal/loadgen's closed-loop
+// generator, kept so existing scripts invoking `a4serve -loadgen` keep
+// working. New work should use cmd/a4load, which adds open-loop arrival
+// schedules, per-class latency histograms, and saturation search.
 func runLoadgen(url string, n, clients int, freshFrac float64) int {
-	base, err := scenario.BuiltinMix("tiny")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "loadgen:", err)
-		return 1
-	}
-	// The popular set: a few manager variants of the tiny mix.
-	popular := [][]byte{}
-	for _, mgr := range []string{"a4-d", "default", "isolate"} {
-		sp := base.Clone()
-		sp.Manager = mgr
-		data, _ := json.Marshal(sp)
-		popular = append(popular, data)
-	}
-	if freshFrac < 0 {
-		freshFrac = 0
-	}
-	if freshFrac > 1 {
-		freshFrac = 1
-	}
-	// isFresh schedules ~freshFrac of requests as never-seen specs with an
-	// error-accumulator spread (exact for any fraction, deterministic in i).
-	isFresh := func(i int) bool {
-		return int(float64(i+1)*freshFrac) > int(float64(i)*freshFrac)
-	}
-
-	statsBefore, backends, err := fetchStats(url)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "loadgen: daemon not reachable:", err)
-		return 1
-	}
-	if backends > 0 {
-		fmt.Printf("loadgen: target is a coordinator over %d backends\n", backends)
-	}
-
-	// Salt fresh specs with a per-run nonce so repeated loadgen runs against
-	// a long-lived daemon really execute their fresh share instead of
-	// re-hitting the previous run's entries.
-	nonce := uint64(time.Now().UnixNano())
-
-	var (
-		next     atomic.Int64
-		okCount  atomic.Int64
-		failures atomic.Int64
-		wg       sync.WaitGroup
-	)
-	// Per-client request-latency histograms, merged after the run: mergeable
-	// HDR buckets mean no cross-client synchronization on the hot path.
-	hists := make([]*stats.Histogram, clients)
-	for c := range hists {
-		hists[c] = stats.NewHistogram()
-	}
-	start := time.Now()
-	for c := 0; c < clients; c++ {
-		wg.Add(1)
-		go func(h *stats.Histogram) {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				body := popular[i%len(popular)]
-				if isFresh(i) {
-					sp := base.Clone()
-					sp.Name = fmt.Sprintf("fresh-%d-%d", nonce, i)
-					sp.Params.Seed = nonce + uint64(i)
-					body, _ = json.Marshal(sp)
-				}
-				t0 := time.Now()
-				resp, err := loadgenClient.Post(url+"/run", "application/json", bytes.NewReader(body))
-				if err != nil {
-					failures.Add(1)
-					continue
-				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				h.Observe(time.Since(t0).Microseconds())
-				if resp.StatusCode == http.StatusOK {
-					okCount.Add(1)
-				} else {
-					failures.Add(1)
-				}
-			}
-		}(hists[c])
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-	lat := stats.NewHistogram()
-	for _, h := range hists {
-		lat.Merge(h)
-	}
-
-	statsAfter, _, err := fetchStats(url)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "loadgen: stats after run:", err)
-		return 1
-	}
-	hits := statsAfter.Hits - statsBefore.Hits
-	execs := statsAfter.Executions - statsBefore.Executions
-	fmt.Printf("loadgen: %d ok, %d failed in %.2fs (%d clients)\n",
-		okCount.Load(), failures.Load(), elapsed.Seconds(), clients)
-	fmt.Printf("loadgen: cache hits=%d dedups=%d executions=%d\n",
-		hits, statsAfter.Dedups-statsBefore.Dedups, execs)
-	fmt.Printf("service_total_rps=%.2f\n", float64(okCount.Load())/elapsed.Seconds())
-	// The headline metric counts only cache-served requests, so it tracks
-	// the serving path rather than simulation speed.
-	fmt.Printf("service_cached_rps=%.2f\n", float64(hits)/elapsed.Seconds())
-	if lat.Count() > 0 {
-		// End-to-end request latency as the client saw it (mixed population:
-		// cache hits and fresh executions together). Informational in
-		// bench.sh, not gated.
-		fmt.Printf("loadgen_p50_ms=%.3f\n", lat.Quantile(0.50)/1000)
-		fmt.Printf("loadgen_p99_ms=%.3f\n", lat.Quantile(0.99)/1000)
-	}
-	if failures.Load() > 0 {
-		return 1
-	}
-	return 0
+	fmt.Fprintln(os.Stderr, "a4serve: -loadgen is deprecated; use the a4load command")
+	return loadgen.ClosedLoop(loadgen.ClosedConfig{
+		URL: url, N: n, Clients: clients, FreshFrac: freshFrac,
+		Out: os.Stdout, Errw: os.Stderr,
+	})
 }
 
-// runSweepgen POSTs one seed-axis sweep of n points and prints the
-// end-to-end grid throughput. Distinct seeds give every point a distinct
-// prefix, so against a coordinator the grid spreads across the whole fleet
-// — cluster_sweep_rps is the multi-backend scaling metric bench.sh records.
+// runSweepgen is the matching shim for `a4serve -loadgen -sweepn`.
 func runSweepgen(url string, n int) int {
-	base, err := scenario.BuiltinMix("tiny")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "sweepgen:", err)
-		return 1
-	}
-	seeds := make([]float64, n)
-	for i := range seeds {
-		seeds[i] = float64(i + 1)
-	}
-	req := map[string]any{
-		"spec": base,
-		"axes": []map[string]any{{"param": "seed", "values": seeds}},
-	}
-	body, _ := json.Marshal(req)
-
-	_, backends, err := fetchStats(url)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "sweepgen: daemon not reachable:", err)
-		return 1
-	}
-	if backends > 0 {
-		fmt.Printf("sweepgen: target is a coordinator over %d backends\n", backends)
-	}
-
-	// Sweeps simulate for real, so allow far more than the loadgen timeout.
-	sweepClient := &http.Client{Timeout: 30 * time.Minute}
-	start := time.Now()
-	resp, err := sweepClient.Post(url+"/sweep", "application/json", bytes.NewReader(body))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "sweepgen:", err)
-		return 1
-	}
-	defer resp.Body.Close()
-	var out struct {
-		Points []json.RawMessage `json:"points"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || resp.StatusCode != http.StatusOK {
-		fmt.Fprintf(os.Stderr, "sweepgen: status %d (decode err: %v)\n", resp.StatusCode, err)
-		return 1
-	}
-	elapsed := time.Since(start)
-	if len(out.Points) != n {
-		fmt.Fprintf(os.Stderr, "sweepgen: got %d points, want %d\n", len(out.Points), n)
-		return 1
-	}
-	fmt.Printf("sweepgen: %d points in %.2fs\n", n, elapsed.Seconds())
-	fmt.Printf("cluster_sweep_rps=%.2f\n", float64(n)/elapsed.Seconds())
-	return 0
-}
-
-// fetchStats reads /stats, returning the (possibly fleet-summed) counters
-// and, when the target is a coordinator, its backend count.
-func fetchStats(url string) (service.Stats, int, error) {
-	var st struct {
-		service.Stats
-		Backends []json.RawMessage `json:"backends"`
-	}
-	resp, err := loadgenClient.Get(url + "/stats")
-	if err != nil {
-		return service.Stats{}, 0, err
-	}
-	defer resp.Body.Close()
-	err = json.NewDecoder(resp.Body).Decode(&st)
-	return st.Stats, len(st.Backends), err
+	fmt.Fprintln(os.Stderr, "a4serve: -loadgen -sweepn is deprecated; use the a4load command")
+	return loadgen.SweepOnce(url, n, os.Stdout, os.Stderr)
 }

@@ -3,10 +3,9 @@ package main
 import (
 	"bytes"
 	"encoding/json"
-	"io"
+	"errors"
 	"net/http"
 	"net/http/httptest"
-	"strings"
 	"testing"
 
 	"a4sim/internal/scenario"
@@ -46,20 +45,13 @@ func TestRunEndpointCachesSecondPost(t *testing.T) {
 	srv := testServer(t)
 	body := tinyBody(t)
 
-	post := func() runResponse {
-		resp, err := http.Post(srv.URL+"/run", "application/json", bytes.NewReader(body))
+	client := service.NewClient(srv.URL, nil)
+	post := func() service.Result {
+		res, err := client.RunBytes(body)
 		if err != nil {
 			t.Fatal(err)
 		}
-		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("POST /run status %d", resp.StatusCode)
-		}
-		var rr runResponse
-		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
-			t.Fatal(err)
-		}
-		return rr
+		return res
 	}
 	r1 := post()
 	r2 := post()
@@ -71,28 +63,18 @@ func TestRunEndpointCachesSecondPost(t *testing.T) {
 	}
 
 	// The hit shows up in /stats and the report is addressable by hash.
-	resp, err := http.Get(srv.URL + "/stats")
+	st, backends, err := client.Stats()
 	if err != nil {
 		t.Fatal(err)
 	}
-	var st service.Stats
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
 	if st.Hits < 1 || st.Executions != 1 {
 		t.Errorf("stats = %+v, want >=1 hit and exactly 1 execution", st)
 	}
+	if backends != 0 {
+		t.Errorf("single node reports %d backends, want 0", backends)
+	}
 
-	resp, err = http.Get(srv.URL + "/result/" + r1.Hash)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("GET /result status %d", resp.StatusCode)
-	}
-	data, err := io.ReadAll(resp.Body)
+	data, err := client.Result(r1.Hash)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,42 +89,29 @@ func TestRunEndpointCachesSecondPost(t *testing.T) {
 
 func TestRunEndpointRejectsBadSpecs(t *testing.T) {
 	srv := testServer(t)
+	client := service.NewClient(srv.URL, nil)
 
-	resp, err := http.Post(srv.URL+"/run", "application/json", strings.NewReader("{not json"))
-	if err != nil {
-		t.Fatal(err)
+	// Rejections come back through the client as the typed taxonomy: a
+	// malformed body is a 400 APIError, an invalid spec a 422, an unknown
+	// content address the ErrUnknownHash sentinel.
+	var ae *service.APIError
+	if _, err := client.RunBytes([]byte("{not json")); !errors.As(err, &ae) || ae.Status != http.StatusBadRequest {
+		t.Errorf("malformed JSON: err = %v, want APIError status 400", err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("malformed JSON: status %d, want 400", resp.StatusCode)
+	if _, err := client.RunBytes([]byte(`{"manager": "bogus", "workloads": [{"kind": "xmem", "cores": [0]}]}`)); !errors.As(err, &ae) || ae.Status != http.StatusUnprocessableEntity {
+		t.Errorf("invalid spec: err = %v, want APIError status 422", err)
 	}
-
-	resp, err = http.Post(srv.URL+"/run", "application/json",
-		strings.NewReader(`{"manager": "bogus", "workloads": [{"kind": "xmem", "cores": [0]}]}`))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusUnprocessableEntity {
-		t.Errorf("invalid spec: status %d, want 422", resp.StatusCode)
+	if _, err := client.Result("unknownhash"); !errors.Is(err, service.ErrUnknownHash) {
+		t.Errorf("unknown result hash: err = %v, want ErrUnknownHash", err)
 	}
 
-	resp, err = http.Get(srv.URL + "/run")
+	resp, err := http.Get(srv.URL + "/run")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET /run: status %d, want 405", resp.StatusCode)
-	}
-
-	resp, err = http.Get(srv.URL + "/result/unknownhash")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusNotFound {
-		t.Errorf("GET /result/unknown: status %d, want 404", resp.StatusCode)
 	}
 }
 
@@ -158,31 +127,17 @@ func TestSweepEndpoint(t *testing.T) {
 		"axes": []map[string]any{{"param": "manager", "managers": []string{"default", "a4-d"}}},
 	}
 	body, _ := json.Marshal(req)
-	resp, err := http.Post(srv.URL+"/sweep", "application/json", bytes.NewReader(body))
+	points, err := service.NewClient(srv.URL, nil).SweepBytes(body)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("POST /sweep status %d", resp.StatusCode)
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want 2", len(points))
 	}
-	var out struct {
-		Points []struct {
-			Grid   map[string]any  `json:"grid"`
-			Hash   string          `json:"hash"`
-			Report json.RawMessage `json:"report"`
-		} `json:"points"`
+	if points[0].Grid["manager"] != "default" || points[1].Grid["manager"] != "a4-d" {
+		t.Errorf("grid order not deterministic: %v", points)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		t.Fatal(err)
-	}
-	if len(out.Points) != 2 {
-		t.Fatalf("got %d points, want 2", len(out.Points))
-	}
-	if out.Points[0].Grid["manager"] != "default" || out.Points[1].Grid["manager"] != "a4-d" {
-		t.Errorf("grid order not deterministic: %v", out.Points)
-	}
-	if out.Points[0].Hash == out.Points[1].Hash {
+	if points[0].Hash == points[1].Hash {
 		t.Error("distinct grid points share a hash")
 	}
 }

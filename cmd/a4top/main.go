@@ -17,11 +17,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
 	"strings"
 
 	"a4sim/internal/scenario"
+	"a4sim/internal/service"
 	"a4sim/internal/stats"
 )
 
@@ -92,21 +92,12 @@ func live(secs, every, block, last int) int {
 }
 
 // remote fetches a served run's series by content address and renders its
-// tail once.
+// tail once. Server errors surface through the client's typed taxonomy —
+// an unknown hash reads as such, not as an opaque status line.
 func remote(url, hash string, last int) int {
-	resp, err := http.Get(strings.TrimRight(url, "/") + "/series/" + hash)
+	data, err := service.NewClient(url, nil).Series(hash)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "a4top:", err)
-		return 1
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "a4top: reading response:", err)
-		return 1
-	}
-	if resp.StatusCode != http.StatusOK {
-		fmt.Fprintf(os.Stderr, "a4top: %s/series/%s: status %d: %s\n", url, hash, resp.StatusCode, strings.TrimSpace(string(data)))
+		fmt.Fprintf(os.Stderr, "a4top: series %s: %v\n", hash, err)
 		return 1
 	}
 	ser, err := stats.DecodeSeries(data)
@@ -124,21 +115,16 @@ func remote(url, hash string, last int) int {
 // shows last is exactly what GET /series serves), or an error for aborted
 // ones. Returns non-zero if the stream ends without a terminal event.
 func follow(url, hash string, last, every int) int {
-	resp, err := http.Get(strings.TrimRight(url, "/") + "/series/" + hash + "/stream")
+	body, err := service.NewClient(url, nil).SeriesStream(hash)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "a4top:", err)
+		fmt.Fprintf(os.Stderr, "a4top: stream %s: %v\n", hash, err)
 		return 1
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		fmt.Fprintf(os.Stderr, "a4top: %s/series/%s/stream: status %d: %s\n", url, hash, resp.StatusCode, strings.TrimSpace(string(data)))
-		return 1
-	}
+	defer body.Close()
 	if every <= 0 {
 		every = 1
 	}
-	sc := bufio.NewScanner(resp.Body)
+	sc := bufio.NewScanner(body)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	var (
 		event string

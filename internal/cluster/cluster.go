@@ -289,41 +289,12 @@ func (c *Coordinator) call(b *backend, path string, body []byte, tr *obs.Trace) 
 }
 
 // translateStatus converts a backend's non-2xx answer back into the service
-// error taxonomy, so the coordinator's own HTTP layer (service.StatusForErr)
-// round-trips the status to its client unchanged.
+// error taxonomy via the shared inverse mapping (service.ErrFromStatus), so
+// the coordinator's own HTTP layer (service.StatusForErr) round-trips the
+// status to its client unchanged — 404, 429, 503, 500, and the 4xx family
+// all survive the hop exactly.
 func translateStatus(url string, status int, body []byte) error {
-	msg := errorMessage(body)
-	switch status {
-	case http.StatusNotFound:
-		return fmt.Errorf("cluster: backend %s: %s: %w", url, msg, service.ErrUnknownHash)
-	case http.StatusTooManyRequests:
-		return fmt.Errorf("cluster: backend %s: %s: %w", url, msg, service.ErrBusy)
-	case http.StatusServiceUnavailable:
-		return fmt.Errorf("cluster: backend %s: %s: %w", url, msg, service.ErrClosed)
-	case http.StatusInternalServerError:
-		return &service.RunError{Err: fmt.Errorf("backend %s: %s", url, msg)}
-	default:
-		return fmt.Errorf("cluster: backend %s: status %d: %s", url, status, msg)
-	}
-}
-
-// errorMessage extracts the {"error": ...} payload the a4serve API uses,
-// falling back to the raw (trimmed) body.
-func errorMessage(body []byte) string {
-	var e struct {
-		Error string `json:"error"`
-	}
-	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return e.Error
-	}
-	s := strings.TrimSpace(string(body))
-	if len(s) > 200 {
-		s = s[:200] + "…"
-	}
-	if s == "" {
-		s = "(empty response)"
-	}
-	return s
+	return fmt.Errorf("cluster: backend %s: %w", url, service.ErrFromStatus(status, body))
 }
 
 // submitKey routes body down key's rendezvous order until a backend serves

@@ -1,0 +1,99 @@
+// Package loadgen is the open-loop load harness for a4serve: it offers
+// requests to a daemon (or cluster coordinator) on a precomputed schedule
+// that does not slow down when the server does, measures per-class
+// latency distributions, and binary-searches the maximum arrival rate a
+// deployment sustains under a tail-latency SLO.
+//
+// Open loop means the arrival schedule is fixed before the first request
+// is sent: a slow server does not throttle the generator into flattering
+// it (coordinated omission). The one concession is a bounded in-flight
+// cap; when the server falls far enough behind to exhaust it, sends slip
+// past their scheduled times and the generator reports that slip — the
+// scheduling-lag honesty condition — instead of silently open-looping
+// into an unbounded socket pile.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Arrival process names accepted by Config.Arrival.
+const (
+	ArrivalConstant = "constant" // evenly spaced, period 1/rate
+	ArrivalPoisson  = "poisson"  // exponential inter-arrivals, mean 1/rate
+	ArrivalBursty   = "bursty"   // on/off square wave, Poisson inside bursts
+	ArrivalDiurnal  = "diurnal"  // nonhomogeneous Poisson, one sinusoid period
+)
+
+// Arrivals lists the valid arrival process names, sorted.
+var Arrivals = []string{ArrivalBursty, ArrivalConstant, ArrivalDiurnal, ArrivalPoisson}
+
+// burstyDuty is the fraction of each burstyPeriod the bursty process
+// spends "on". Inside a burst it offers rate/burstyDuty, so the average
+// over a whole period is the configured rate.
+const (
+	burstyPeriod = 2 * time.Second
+	burstyDuty   = 0.25
+)
+
+// Schedule returns the arrival offsets (from run start, ascending) of one
+// load run: the given process at the given average rate over the given
+// window, driven entirely by a rand seeded from seed. Same arguments,
+// same schedule — on every platform, every run.
+func Schedule(kind string, rate float64, d time.Duration, seed uint64) ([]time.Duration, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("loadgen: rate must be positive, got %g", rate)
+	}
+	if d <= 0 {
+		return nil, fmt.Errorf("loadgen: duration must be positive, got %v", d)
+	}
+	rng := rand.New(rand.NewSource(int64(seed)))
+	var out []time.Duration
+	switch kind {
+	case ArrivalConstant, "":
+		period := time.Duration(float64(time.Second) / rate)
+		for at := time.Duration(0); at < d; at += period {
+			out = append(out, at)
+		}
+	case ArrivalPoisson:
+		for at := nextExp(rng, rate); at < d; at += nextExp(rng, rate) {
+			out = append(out, at)
+		}
+	case ArrivalBursty:
+		// Poisson at rate/duty, thinned to the "on" part of the square
+		// wave: bursts of 4x the average rate separated by silence, the
+		// worst polite client a cache in front of an executor can meet.
+		on := time.Duration(burstyDuty * float64(burstyPeriod))
+		burstRate := rate / burstyDuty
+		for at := nextExp(rng, burstRate); at < d; at += nextExp(rng, burstRate) {
+			if at%burstyPeriod < on {
+				out = append(out, at)
+			}
+		}
+	case ArrivalDiurnal:
+		// Nonhomogeneous Poisson by thinning: candidates at the 2x peak
+		// rate, kept with probability lambda(t)/peak where lambda(t) =
+		// rate*(1-cos(2*pi*t/d)) — one full diurnal period squeezed into
+		// the run window, averaging the configured rate.
+		peak := 2 * rate
+		for at := nextExp(rng, peak); at < d; at += nextExp(rng, peak) {
+			lambda := rate * (1 - math.Cos(2*math.Pi*float64(at)/float64(d)))
+			if rng.Float64()*peak < lambda {
+				out = append(out, at)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("loadgen: unknown arrival process %q (have %v)", kind, Arrivals)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// nextExp draws one exponential inter-arrival gap with mean 1/rate.
+func nextExp(rng *rand.Rand, rate float64) time.Duration {
+	return time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+}

@@ -1,0 +1,109 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestScheduleDeterministic(t *testing.T) {
+	for _, kind := range Arrivals {
+		a, err := Schedule(kind, 200, 4*time.Second, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		b, err := Schedule(kind, 200, 4*time.Second, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(a) == 0 {
+			t.Fatalf("%s: empty schedule", kind)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: lengths differ across identical seeds: %d vs %d", kind, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: offset %d differs: %v vs %v", kind, i, a[i], b[i])
+			}
+			if a[i] < 0 || a[i] >= 4*time.Second {
+				t.Fatalf("%s: offset %d out of window: %v", kind, i, a[i])
+			}
+			if i > 0 && a[i] < a[i-1] {
+				t.Fatalf("%s: schedule not sorted at %d", kind, i)
+			}
+		}
+		// Randomized processes must actually vary with the seed.
+		if kind != ArrivalConstant {
+			c, err := Schedule(kind, 200, 4*time.Second, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			same := len(c) == len(a)
+			if same {
+				for i := range a {
+					if a[i] != c[i] {
+						same = false
+						break
+					}
+				}
+			}
+			if same {
+				t.Errorf("%s: seeds 7 and 8 produced identical schedules", kind)
+			}
+		}
+	}
+}
+
+func TestPoissonInterArrivalMean(t *testing.T) {
+	const (
+		rate = 500.0
+		dur  = 20 * time.Second
+	)
+	offs, err := Schedule(ArrivalPoisson, rate, dur, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := float64(len(offs))
+	want := rate * dur.Seconds()
+	// Poisson counts concentrate hard around the mean: 5 sigma covers any
+	// seed this test will ever see.
+	if sigma := math.Sqrt(want); math.Abs(n-want) > 5*sigma {
+		t.Fatalf("got %d arrivals, want %.0f +- %.0f", len(offs), want, 5*sigma)
+	}
+	var sum time.Duration
+	for i := 1; i < len(offs); i++ {
+		sum += offs[i] - offs[i-1]
+	}
+	meanGap := float64(sum) / float64(len(offs)-1) / float64(time.Second)
+	if wantGap := 1 / rate; math.Abs(meanGap-wantGap) > 0.1*wantGap {
+		t.Fatalf("mean inter-arrival %.6fs, want %.6fs +- 10%%", meanGap, wantGap)
+	}
+}
+
+func TestScheduleAverageRateAcrossProcesses(t *testing.T) {
+	// Every process must offer the configured average rate over the
+	// window, whatever its shape.
+	for _, kind := range Arrivals {
+		offs, err := Schedule(kind, 300, 10*time.Second, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := float64(len(offs)) / 10
+		if got < 240 || got > 360 {
+			t.Errorf("%s: average rate %.1f rps, want 300 +- 20%%", kind, got)
+		}
+	}
+}
+
+func TestScheduleRejectsBadInput(t *testing.T) {
+	if _, err := Schedule(ArrivalConstant, 0, time.Second, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := Schedule(ArrivalConstant, 10, 0, 1); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := Schedule("sawtooth", 10, time.Second, 1); err == nil {
+		t.Error("unknown process accepted")
+	}
+}

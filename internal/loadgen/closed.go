@@ -1,0 +1,208 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"a4sim/internal/scenario"
+	"a4sim/internal/service"
+	"a4sim/internal/stats"
+)
+
+// This file is the legacy closed-loop generator extracted from
+// cmd/a4serve: N clients issuing back-to-back requests, throughput
+// measured from the daemon's own /stats deltas. It keeps the serving-path
+// benchmarks (service_cached_rps, cluster_sweep_rps) and their printed
+// key=value lines stable for scripts/bench.sh and CI while the open-loop
+// harness above owns latency and saturation questions. Closed loop means
+// the offered rate follows the service's speed — good for "how fast can
+// it serve", structurally unable to answer "what does latency look like
+// at a fixed rate"; see DESIGN.md §16.
+
+// ClosedConfig parameterizes one closed-loop run.
+type ClosedConfig struct {
+	URL       string
+	N         int     // total requests
+	Clients   int     // concurrent closed-loop clients
+	FreshFrac float64 // fraction of requests carrying never-seen specs
+	Nonce     uint64  // salts fresh specs; 0 derives one from the clock
+	Out       io.Writer
+	Errw      io.Writer
+}
+
+// ClosedLoop drives a daemon with a mix of repeated and fresh specs and
+// prints overall and cache-served throughput in the bench.sh-parseable
+// key=value form. Returns a non-zero exit code on any failure, matching
+// the command-line contract of the a4serve -loadgen mode it replaced.
+func ClosedLoop(cfg ClosedConfig) int {
+	base, err := scenario.BuiltinMix("tiny")
+	if err != nil {
+		fmt.Fprintln(cfg.Errw, "loadgen:", err)
+		return 1
+	}
+	// The popular set: a few manager variants of the tiny mix.
+	var popular [][]byte
+	for _, sp := range scenario.ManagerVariants(base, []string{"a4-d", "default", "isolate"}) {
+		data, _ := json.Marshal(sp)
+		popular = append(popular, data)
+	}
+	freshFrac := cfg.FreshFrac
+	if freshFrac < 0 {
+		freshFrac = 0
+	}
+	if freshFrac > 1 {
+		freshFrac = 1
+	}
+	// isFresh schedules ~freshFrac of requests as never-seen specs with an
+	// error-accumulator spread (exact for any fraction, deterministic in i).
+	isFresh := func(i int) bool {
+		return int(float64(i+1)*freshFrac) > int(float64(i)*freshFrac)
+	}
+
+	client := service.NewClient(cfg.URL, nil)
+	statsBefore, backends, err := client.Stats()
+	if err != nil {
+		fmt.Fprintln(cfg.Errw, "loadgen: daemon not reachable:", err)
+		return 1
+	}
+	if backends > 0 {
+		fmt.Fprintf(cfg.Out, "loadgen: target is a coordinator over %d backends\n", backends)
+	}
+
+	// Salt fresh specs with a per-run nonce so repeated loadgen runs
+	// against a long-lived daemon really execute their fresh share instead
+	// of re-hitting the previous run's entries.
+	nonce := cfg.Nonce
+	if nonce == 0 {
+		nonce = uint64(time.Now().UnixNano())
+	}
+
+	var (
+		next     atomic.Int64
+		okCount  atomic.Int64
+		failures atomic.Int64
+		wg       sync.WaitGroup
+	)
+	// Per-client request-latency histograms, merged after the run:
+	// mergeable HDR buckets mean no cross-client synchronization on the
+	// hot path.
+	hists := make([]*stats.Histogram, cfg.Clients)
+	for c := range hists {
+		hists[c] = stats.NewHistogram()
+	}
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(h *stats.Histogram) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.N {
+					return
+				}
+				body := popular[i%len(popular)]
+				if isFresh(i) {
+					sp := base.Clone()
+					sp.Name = fmt.Sprintf("fresh-%d-%d", nonce, i)
+					sp.Params.Seed = nonce + uint64(i)
+					body, _ = json.Marshal(sp)
+				}
+				t0 := time.Now()
+				_, err := client.RunBytes(body)
+				h.Observe(time.Since(t0).Microseconds())
+				if err != nil {
+					failures.Add(1)
+				} else {
+					okCount.Add(1)
+				}
+			}
+		}(hists[c])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	lat := stats.NewHistogram()
+	for _, h := range hists {
+		lat.Merge(h)
+	}
+
+	statsAfter, _, err := client.Stats()
+	if err != nil {
+		fmt.Fprintln(cfg.Errw, "loadgen: stats after run:", err)
+		return 1
+	}
+	hits := statsAfter.Hits - statsBefore.Hits
+	execs := statsAfter.Executions - statsBefore.Executions
+	fmt.Fprintf(cfg.Out, "loadgen: %d ok, %d failed in %.2fs (%d clients)\n",
+		okCount.Load(), failures.Load(), elapsed.Seconds(), cfg.Clients)
+	fmt.Fprintf(cfg.Out, "loadgen: cache hits=%d dedups=%d executions=%d\n",
+		hits, statsAfter.Dedups-statsBefore.Dedups, execs)
+	fmt.Fprintf(cfg.Out, "service_total_rps=%.2f\n", float64(okCount.Load())/elapsed.Seconds())
+	// The headline metric counts only cache-served requests, so it tracks
+	// the serving path rather than simulation speed.
+	fmt.Fprintf(cfg.Out, "service_cached_rps=%.2f\n", float64(hits)/elapsed.Seconds())
+	if lat.Count() > 0 {
+		// End-to-end request latency as the client saw it (mixed
+		// population: cache hits and fresh executions together).
+		// Informational in bench.sh, not gated.
+		fmt.Fprintf(cfg.Out, "loadgen_p50_ms=%.3f\n", lat.Quantile(0.50)/1000)
+		fmt.Fprintf(cfg.Out, "loadgen_p99_ms=%.3f\n", lat.Quantile(0.99)/1000)
+	}
+	if failures.Load() > 0 {
+		return 1
+	}
+	return 0
+}
+
+// SweepOnce POSTs one seed-axis sweep of n points and prints the
+// end-to-end grid throughput. Distinct seeds give every point a distinct
+// prefix, so against a coordinator the grid spreads across the whole
+// fleet — cluster_sweep_rps is the multi-backend scaling metric bench.sh
+// records.
+func SweepOnce(url string, n int, out, errw io.Writer) int {
+	base, err := scenario.BuiltinMix("tiny")
+	if err != nil {
+		fmt.Fprintln(errw, "sweepgen:", err)
+		return 1
+	}
+	seeds := make([]float64, n)
+	for i := range seeds {
+		seeds[i] = float64(i + 1)
+	}
+	req := &service.SweepRequest{
+		Spec: *base,
+		Axes: []service.Axis{{Param: "seed", Values: seeds}},
+	}
+
+	probe := service.NewClient(url, nil)
+	_, backends, err := probe.Stats()
+	if err != nil {
+		fmt.Fprintln(errw, "sweepgen: daemon not reachable:", err)
+		return 1
+	}
+	if backends > 0 {
+		fmt.Fprintf(out, "sweepgen: target is a coordinator over %d backends\n", backends)
+	}
+
+	// Sweeps simulate for real, so allow far more than the default
+	// request timeout.
+	client := service.NewClient(url, &http.Client{Timeout: 30 * time.Minute})
+	start := time.Now()
+	points, err := client.Sweep(req)
+	if err != nil {
+		fmt.Fprintln(errw, "sweepgen:", err)
+		return 1
+	}
+	elapsed := time.Since(start)
+	if len(points) != n {
+		fmt.Fprintf(errw, "sweepgen: got %d points, want %d\n", len(points), n)
+		return 1
+	}
+	fmt.Fprintf(out, "sweepgen: %d points in %.2fs\n", n, elapsed.Seconds())
+	fmt.Fprintf(out, "cluster_sweep_rps=%.2f\n", float64(n)/elapsed.Seconds())
+	return 0
+}

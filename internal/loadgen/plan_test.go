@@ -1,0 +1,113 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestBuildPlanByteReproducible(t *testing.T) {
+	cfg := Config{Rate: 80, Duration: 5 * time.Second, Arrival: ArrivalPoisson, Seed: 42}
+	a, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ea, eb) {
+		t.Fatal("identical configs produced different plan bytes")
+	}
+
+	other, err := BuildPlan(Config{Rate: 80, Duration: 5 * time.Second, Arrival: ArrivalPoisson, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eo, err := other.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ea, eo) {
+		t.Fatal("different seeds produced identical plan bytes")
+	}
+}
+
+func TestBuildPlanMixAndShape(t *testing.T) {
+	plan, err := BuildPlan(Config{Rate: 200, Duration: 10 * time.Second, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Priming) == 0 {
+		t.Fatal("plan has no priming events")
+	}
+	counts := map[string]int{}
+	var lastAt int64 = -1
+	for i, ev := range plan.Events {
+		counts[ev.Class]++
+		if ev.AtUs < lastAt {
+			t.Fatalf("event %d scheduled before its predecessor", i)
+		}
+		lastAt = ev.AtUs
+		switch ev.Class {
+		case ClassSeries:
+			if ev.Method != "GET" {
+				t.Fatalf("series-read event uses %s", ev.Method)
+			}
+		default:
+			if ev.Method != "POST" || len(ev.Body) == 0 {
+				t.Fatalf("%s event missing method/body", ev.Class)
+			}
+			if !json.Valid(ev.Body) {
+				t.Fatalf("%s event body is not valid JSON", ev.Class)
+			}
+		}
+	}
+	total := len(plan.Events)
+	for class, want := range DefaultMix {
+		got := float64(counts[class]) / float64(total)
+		if got < want/2 || got > want*2 {
+			t.Errorf("class %s: %.3f of events, mix weight %.3f (off by >2x)", class, got, want)
+		}
+	}
+	// Fresh bodies must be pairwise distinct (they exist to miss the cache).
+	seen := map[string]bool{}
+	for _, ev := range plan.Events {
+		if ev.Class != ClassFresh {
+			continue
+		}
+		if seen[string(ev.Body)] {
+			t.Fatal("duplicate fresh-run body in one plan")
+		}
+		seen[string(ev.Body)] = true
+	}
+}
+
+func TestBuildPlanRejectsBadMix(t *testing.T) {
+	base := Config{Rate: 10, Duration: time.Second, Seed: 1}
+
+	cfg := base
+	cfg.Mix = map[string]float64{"mystery-class": 1}
+	if _, err := BuildPlan(cfg); err == nil {
+		t.Error("unknown class accepted")
+	}
+	cfg = base
+	cfg.Mix = map[string]float64{ClassCached: -1}
+	if _, err := BuildPlan(cfg); err == nil {
+		t.Error("negative weight accepted")
+	}
+	cfg = base
+	cfg.Mix = map[string]float64{ClassCached: 0}
+	if _, err := BuildPlan(cfg); err == nil {
+		t.Error("all-zero mix accepted")
+	}
+}

@@ -1,0 +1,72 @@
+package scenario
+
+import "fmt"
+
+// Spec-family synthesis: deterministic generators of related-but-distinct
+// specs, the request populations the load harness (internal/loadgen) draws
+// from. A family is a base spec plus a salt; variant i is a pure function
+// of (base, salt, i), so two generators with the same inputs produce
+// byte-identical canonical specs — the property that makes a load run's
+// request schedule reproducible.
+
+// Family deterministically synthesizes distinct spec variants from one
+// base. Each variant differs in its RNG seed (and carries a variant name),
+// so every variant has a distinct content hash — and therefore a distinct
+// prefix hash — and must execute rather than hit the result cache.
+type Family struct {
+	base *Spec
+	salt uint64
+}
+
+// NewFamily returns a generator over base. The salt namespaces the family:
+// distinct salts yield disjoint variant populations, which is how repeated
+// load runs against one long-lived daemon avoid re-hitting a previous
+// run's cached entries. The base is cloned; later caller mutations do not
+// leak into variants.
+func NewFamily(base *Spec, salt uint64) *Family {
+	return &Family{base: base.Clone(), salt: salt}
+}
+
+// Variant returns the i-th member of the family: the base with a seed
+// drawn from a splitmix64 stream over (salt, i) and a name recording its
+// coordinates. Pure in (base, salt, i).
+func (f *Family) Variant(i uint64) *Spec {
+	sp := f.base.Clone()
+	sp.Name = fmt.Sprintf("%s-fam%d-%d", sp.Name, f.salt, i)
+	sp.Params.Seed = synthMix(f.salt, i)
+	return sp
+}
+
+// VariantSeed exposes the seed Variant(i) assigns, for callers that embed
+// family coordinates into other request shapes (sweep axes, for one).
+func (f *Family) VariantSeed(i uint64) uint64 { return synthMix(f.salt, i) }
+
+// ManagerVariants returns one clone of base per manager name, in input
+// order — the "popular set" shape: a handful of specs a fleet of clients
+// asks for repeatedly, differing only in management scheme. Unknown
+// manager names are passed through verbatim and will fail the variant's
+// validation at run time, exactly as a hand-written spec would.
+func ManagerVariants(base *Spec, managers []string) []*Spec {
+	out := make([]*Spec, len(managers))
+	for i, mgr := range managers {
+		sp := base.Clone()
+		sp.Manager = mgr
+		out[i] = sp
+	}
+	return out
+}
+
+// synthMix is splitmix64 over the (salt, i) pair: cheap, well-distributed,
+// and stable across platforms, so families hash identically everywhere.
+// The +1 keeps variant seeds nonzero — a zero spec seed means "use the
+// default" and would fold distinct variants onto one hash.
+func synthMix(salt, i uint64) uint64 {
+	z := salt*0x9e3779b97f4a7c15 + i + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}

@@ -1,0 +1,100 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFamilyVariantDeterministic(t *testing.T) {
+	base, err := BuiltinMix("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewFamily(base, 7)
+	b := NewFamily(base, 7)
+	for i := uint64(0); i < 8; i++ {
+		ca, err := a.Variant(i).Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := b.Variant(i).Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ca, cb) {
+			t.Fatalf("variant %d differs across identical families", i)
+		}
+	}
+}
+
+func TestFamilyVariantsDistinct(t *testing.T) {
+	base, err := BuiltinMix("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := NewFamily(base, 1)
+	other := NewFamily(base, 2)
+	seen := map[string]uint64{}
+	for i := uint64(0); i < 32; i++ {
+		for _, sp := range []*Spec{fam.Variant(i), other.Variant(i)} {
+			h, err := sp.Hash()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prev, dup := seen[h]; dup {
+				t.Fatalf("variant %d collides with variant %d (hash %s)", i, prev, h)
+			}
+			seen[h] = i
+			if err := sp.Validate(); err != nil {
+				t.Fatalf("variant %d invalid: %v", i, err)
+			}
+			if sp.Params.Seed == 0 {
+				t.Fatalf("variant %d got the zero seed", i)
+			}
+		}
+	}
+	// Mutating the base after NewFamily must not change variants.
+	mutBase := base.Clone()
+	famBefore, err := NewFamily(mutBase, 9).Variant(0).Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	famMut := NewFamily(mutBase, 9)
+	mutBase.Manager = "isolate"
+	famAfter, err := famMut.Variant(0).Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(famBefore, famAfter) {
+		t.Fatal("mutating the base spec leaked into an existing family")
+	}
+}
+
+func TestManagerVariants(t *testing.T) {
+	base, err := BuiltinMix("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	managers := []string{"a4-d", "default", "isolate"}
+	variants := ManagerVariants(base, managers)
+	if len(variants) != len(managers) {
+		t.Fatalf("got %d variants, want %d", len(variants), len(managers))
+	}
+	seen := map[string]bool{}
+	for i, sp := range variants {
+		if sp.Manager != managers[i] {
+			t.Fatalf("variant %d manager = %q, want %q", i, sp.Manager, managers[i])
+		}
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("variant %s invalid: %v", managers[i], err)
+		}
+		h, err := sp.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[h] {
+			t.Fatalf("manager variants collide at %q", managers[i])
+		}
+		seen[h] = true
+	}
+}

@@ -182,7 +182,7 @@ func NewMux(r Runner, stats func() any, healthy func() bool) *http.ServeMux {
 		hash := req.PathValue("hash")
 		rep, ok := r.Lookup(hash)
 		if !ok {
-			httpError(w, http.StatusNotFound, "no cached result for "+hash)
+			httpErrorHash(w, http.StatusNotFound, "no cached result for "+hash, hash)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -192,7 +192,7 @@ func NewMux(r Runner, stats func() any, healthy func() bool) *http.ServeMux {
 		hash := req.PathValue("hash")
 		series, ok := r.Series(hash)
 		if !ok {
-			httpError(w, http.StatusNotFound, "no cached series for "+hash+" (unknown hash, evicted, or run without a series block)")
+			httpErrorHash(w, http.StatusNotFound, "no cached series for "+hash+" (unknown hash, evicted, or run without a series block)", hash)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -228,7 +228,7 @@ func NewMux(r Runner, stats func() any, healthy func() bool) *http.ServeMux {
 			n, _ := strconv.Atoi(req.URL.Query().Get("n"))
 			data, ok := es.TraceEvents(hash, n)
 			if !ok {
-				httpError(w, http.StatusNotFound, "no event log for "+hash+" (unknown hash, evicted, or rehydrated from disk)")
+				httpErrorHash(w, http.StatusNotFound, "no event log for "+hash+" (unknown hash, evicted, or rehydrated from disk)", hash)
 				return
 			}
 			w.Header().Set("Content-Type", "application/json")
@@ -322,17 +322,21 @@ func bodyErrStatus(err error) int {
 // StatusForErr classifies a serving failure: an unknown content address is
 // 404, execution errors are the server's fault (500), a closing service is
 // transient (503), no reachable capacity likewise (503), a full queue asks
-// the client to back off (429), anything else is a spec or grid rejected
-// before running (422). The cluster coordinator translates backend HTTP
-// statuses back into this same error taxonomy, so forwarding round-trips
-// statuses exactly.
+// the client to back off (429), a forwarded APIError keeps the status it
+// was born with, and anything else is a spec or grid rejected before
+// running (422). ErrFromStatus is the exact inverse: the cluster
+// coordinator translates backend HTTP statuses through it back into this
+// same error taxonomy, so forwarding round-trips statuses unchanged.
 func StatusForErr(err error) int {
 	var re *RunError
+	var ae *APIError
 	switch {
 	case errors.Is(err, ErrUnknownHash):
 		return http.StatusNotFound
 	case errors.As(err, &re):
 		return http.StatusInternalServerError
+	case errors.As(err, &ae):
+		return ae.Status
 	case errors.Is(err, ErrClosed), errors.Is(err, ErrUnavailable):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrBusy):
@@ -348,8 +352,19 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc.Encode(v)
 }
 
+// httpError writes the uniform error envelope: {"error", "status"} — the
+// status is repeated in the body so a logged or proxied payload stays
+// self-describing. Every error path in the service and cluster muxes goes
+// through here (or httpErrorHash); no endpoint returns bare-text errors.
 func httpError(w http.ResponseWriter, status int, msg string) {
+	httpErrorHash(w, status, msg, "")
+}
+
+// httpErrorHash is httpError for failures about a specific run: the content
+// address rides in the envelope's "hash" field so clients need not parse it
+// out of the message.
+func httpErrorHash(w http.ResponseWriter, status int, msg, hash string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	json.NewEncoder(w).Encode(ErrorBody{Error: msg, Status: status, Hash: hash})
 }

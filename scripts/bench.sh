@@ -91,11 +91,14 @@ echo "sampled_error_pct=$sampled_error"
 serve_rps=0
 loadgen_p50=0
 loadgen_p99=0
+loadgen_sustained=0
+loadgen_p99_slo=0
 serve_pid=""
 cluster_pids=""
 serve_port="${A4SERVE_PORT:-8046}"
 serve_bin=$(mktemp -t a4serve.XXXXXX)
-trap 'for p in $serve_pid $cluster_pids; do kill "$p" 2>/dev/null || true; done; rm -f "$serve_bin"' EXIT
+load_bin=$(mktemp -t a4load.XXXXXX)
+trap 'for p in $serve_pid $cluster_pids; do kill "$p" 2>/dev/null || true; done; rm -f "$serve_bin" "$load_bin"' EXIT
 if curl -sf "http://127.0.0.1:$serve_port/healthz" >/dev/null 2>&1; then
 	# A stale daemon owns the port; measuring against it would record an
 	# old build's (warm-cache) throughput. Record 0 instead.
@@ -122,6 +125,22 @@ elif go build -o "$serve_bin" ./cmd/a4serve; then
 		loadgen_p99="${loadgen_p99:-0}"
 	else
 		echo "bench.sh: loadgen failed; recording service_cached_rps=0" >&2
+	fi
+	# Saturation search (open-loop a4load): the highest arrival rate the
+	# daemon sustains under a p99 SLO, plus the p99 measured at that rate.
+	# Runs against the same daemon the closed-loop pass just warmed.
+	if go build -o "$load_bin" ./cmd/a4load && search_out=$("$load_bin" \
+		-url "http://127.0.0.1:$serve_port" -search \
+		-slo-p99-ms "${LOADGEN_SLO_P99_MS:-100}" -seed 1 \
+		-min-rate "${LOADGEN_MIN_RATE:-8}" -max-rate "${LOADGEN_MAX_RATE:-1024}" \
+		-probe "${LOADGEN_PROBE:-3s}" -tol "${LOADGEN_TOL:-0.25}"); then
+		echo "$search_out"
+		loadgen_sustained=$(echo "$search_out" | awk -F= '/^loadgen_sustained_rps=/ {print $2}')
+		loadgen_sustained="${loadgen_sustained:-0}"
+		loadgen_p99_slo=$(echo "$search_out" | awk -F= '/^loadgen_p99_ms_at_slo=/ {print $2}')
+		loadgen_p99_slo="${loadgen_p99_slo:-0}"
+	else
+		echo "bench.sh: saturation search failed; recording loadgen_sustained_rps=0" >&2
 	fi
 	kill "$serve_pid" 2>/dev/null || true
 	serve_pid=""
@@ -183,6 +202,8 @@ fi
 	echo "  \"service_cached_rps\": ${serve_rps},"
 	echo "  \"loadgen_p50_ms\": ${loadgen_p50},"
 	echo "  \"loadgen_p99_ms\": ${loadgen_p99},"
+	echo "  \"loadgen_sustained_rps\": ${loadgen_sustained},"
+	echo "  \"loadgen_p99_ms_at_slo\": ${loadgen_p99_slo},"
 	echo "  \"cluster_sweep_rps\": ${cluster_rps},"
 	echo "  \"sweep_fork_speedup\": ${fork_speedup},"
 	echo "  \"series_overhead_pct\": ${series_overhead},"

@@ -9,10 +9,15 @@
 #     BENCH_GATE_MIN_FORK (default 1.5×), or
 #   * sampled_speedup (detailed/sampled wall clock of one measured second,
 #     BenchmarkScenarioSecondSampled) drops below BENCH_GATE_MIN_SAMPLED
-#     (default 1.8×).
+#     (default 1.8×), or
+#   * loadgen_sustained_rps (the a4load saturation search's max sustainable
+#     arrival rate under the p99 SLO) drops below BENCH_GATE_MIN_LOADGEN_FRAC
+#     (default 0.75) of the committed baseline's figure. Skipped when the
+#     baseline predates the metric or recorded 0 (e.g. a sandboxed run).
 #
 # Other keys in the record (service_cached_rps, loadgen_p50_ms,
-# loadgen_p99_ms, cluster_sweep_rps, series_overhead_pct, obs_overhead_pct,
+# loadgen_p99_ms, loadgen_p99_ms_at_slo, cluster_sweep_rps,
+# series_overhead_pct, obs_overhead_pct,
 # BenchmarkScenarioSecondSeries/*, BenchmarkScenarioSecondObs/*) are
 # informational: the gate reads only the three metrics above and tolerates
 # any additions. sampled_error_pct in particular is informational — it is
@@ -38,6 +43,7 @@ cand="${1:-bench-ci.json}"
 factor="${BENCH_GATE_FACTOR:-1.25}"
 min_fork="${BENCH_GATE_MIN_FORK:-1.5}"
 min_sampled="${BENCH_GATE_MIN_SAMPLED:-1.8}"
+min_loadgen_frac="${BENCH_GATE_MIN_LOADGEN_FRAC:-0.75}"
 
 # On pull_request CI checks out a synthetic merge commit, so also look at
 # its second parent (the PR head) for the marker.
@@ -69,6 +75,8 @@ base_ms=$(jq -r '.benchmarks.BenchmarkScenarioSecond."ns/op" / 1e6' "$base")
 cand_ms=$(jq -r '.benchmarks.BenchmarkScenarioSecond."ns/op" / 1e6' "$cand")
 cand_fork=$(jq -r '.sweep_fork_speedup' "$cand")
 cand_sampled=$(jq -r '.sampled_speedup' "$cand")
+base_sustained=$(jq -r '.loadgen_sustained_rps // 0' "$base")
+cand_sustained=$(jq -r '.loadgen_sustained_rps // 0' "$cand")
 if [ "$base_ms" = "null" ] || [ "$cand_ms" = "null" ] || [ "$cand_fork" = "null" ] || [ "$cand_sampled" = "null" ]; then
 	echo "bench_gate: metrics missing (base_ms=$base_ms cand_ms=$cand_ms fork=$cand_fork sampled=$cand_sampled)" >&2
 	exit 1
@@ -91,6 +99,31 @@ rerun_sampled_speedup() {
 		/^BenchmarkScenarioSecondSampled\/detailed/ {det = $3}
 		/^BenchmarkScenarioSecondSampled\/sampled/  {smp = $3}
 		END { if (det > 0 && smp > 0) printf "%.2f", det / smp; else printf "0" }'
+}
+# Re-measures the saturation search against a throwaway daemon on an
+# offset port (the bench.sh one is long gone by gate time).
+rerun_sustained() {
+	local port=$(( ${A4SERVE_PORT:-8046} + 9 ))
+	local sbin lbin pid out rps
+	sbin=$(mktemp -t a4serve.XXXXXX) || return
+	lbin=$(mktemp -t a4load.XXXXXX) || { rm -f "$sbin"; return; }
+	if go build -o "$sbin" ./cmd/a4serve 2>/dev/null &&
+		go build -o "$lbin" ./cmd/a4load 2>/dev/null; then
+		"$sbin" -addr "127.0.0.1:$port" -workers 4 >/dev/null 2>&1 &
+		pid=$!
+		for _ in $(seq 1 50); do
+			curl -sf "http://127.0.0.1:$port/healthz" >/dev/null 2>&1 && break
+			sleep 0.2
+		done
+		out=$("$lbin" -url "http://127.0.0.1:$port" -search \
+			-slo-p99-ms "${LOADGEN_SLO_P99_MS:-100}" -seed 1 \
+			-min-rate "${LOADGEN_MIN_RATE:-8}" -max-rate "${LOADGEN_MAX_RATE:-1024}" \
+			-probe "${LOADGEN_PROBE:-3s}" -tol "${LOADGEN_TOL:-0.25}" 2>/dev/null) || out=""
+		rps=$(echo "$out" | awk -F= '/^loadgen_sustained_rps=/ {print $2}')
+		kill "$pid" 2>/dev/null || true
+	fi
+	rm -f "$sbin" "$lbin"
+	printf '%s' "${rps:-0}"
 }
 
 lt() { awk -v a="$1" -v b="$2" 'BEGIN {exit !(a < b)}'; }
@@ -130,6 +163,23 @@ if lt "$best_sampled" "$min_sampled"; then
 	done
 fi
 
+# Serving-throughput gate: only meaningful when the committed baseline
+# carries a nonzero figure to compare against.
+sustained_floor=0
+best_sustained="$cand_sustained"
+if [ "$base_sustained" != "0" ] && [ "$base_sustained" != "null" ] && lt 0 "$base_sustained"; then
+	sustained_floor=$(awk -v b="$base_sustained" -v f="$min_loadgen_frac" 'BEGIN {printf "%.2f", b * f}')
+	if lt "$best_sustained" "$sustained_floor"; then
+		echo "bench_gate: loadgen_sustained_rps $cand_sustained below ${min_loadgen_frac}x baseline $base_sustained; re-measuring (best of 3)"
+		for _ in 1 2; do
+			su=$(rerun_sustained)
+			echo "bench_gate: re-measured loadgen_sustained_rps=$su"
+			if [ -n "$su" ] && lt "$best_sustained" "$su"; then best_sustained="$su"; fi
+			if ! lt "$best_sustained" "$sustained_floor"; then break; fi
+		done
+	fi
+fi
+
 fail=0
 if ! scenario_ok "$best_ms"; then
 	echo "bench_gate: FAIL scenario_second_ms best-of-3 $best_ms regresses >${factor}x over baseline $base_ms ($base)" >&2
@@ -148,6 +198,16 @@ if lt "$best_sampled" "$min_sampled"; then
 	fail=1
 else
 	echo "bench_gate: ok sampled_speedup $best_sampled (floor ${min_sampled}x)"
+fi
+if [ "$sustained_floor" != "0" ]; then
+	if lt "$best_sustained" "$sustained_floor"; then
+		echo "bench_gate: FAIL loadgen_sustained_rps best-of-3 $best_sustained below floor $sustained_floor (${min_loadgen_frac}x baseline $base_sustained)" >&2
+		fail=1
+	else
+		echo "bench_gate: ok loadgen_sustained_rps $best_sustained (floor $sustained_floor)"
+	fi
+else
+	echo "bench_gate: loadgen_sustained_rps not gated (baseline has no figure)"
 fi
 if [ "$fail" -ne 0 ]; then
 	echo "bench_gate: perf regression — fix it, or commit with [skip-bench-gate] and a justification" >&2
