@@ -51,6 +51,7 @@ import (
 	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -121,6 +122,11 @@ func main() {
 			*addr, svc.Stats().Workers, *cacheEntries, scenario.BuiltinMixes())
 	}
 	if *pprofOn {
+		// Contention profiling is off by default in the runtime; sampling
+		// 1-in-5 mutex events and >=100µs block events keeps the overhead
+		// negligible while making /debug/pprof/{mutex,block} useful.
+		runtime.SetMutexProfileFraction(5)
+		runtime.SetBlockProfileRate(100_000)
 		// Mounted on our mux, not http.DefaultServeMux, so the flag really
 		// gates the endpoints.
 		mux.HandleFunc("/debug/pprof/", netpprof.Index)

@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"a4sim/internal/obs"
@@ -44,7 +45,10 @@ type Config struct {
 	ReviveAfter time.Duration
 	// Client executes /run, /extend, and /result requests. Nil gets a
 	// client with a 15-minute timeout (runs may legitimately simulate for
-	// minutes; the backend's CheckBudget bounds them).
+	// minutes; the backend's CheckBudget bounds them) over a keep-alive
+	// transport whose per-host connection pool matches QueueDepth — the
+	// per-backend in-flight cap — so routed traffic reuses sockets instead
+	// of churning through dials.
 	Client *http.Client
 	// RouteEntries caps the content-hash → routing-key index used to send
 	// /extend and /result/<hash> requests to the backend that owns the run.
@@ -62,23 +66,28 @@ type Coordinator struct {
 	traces      *obs.Ring    // finished request traces, served merged with backend spans
 	reviveAfter time.Duration
 
-	mu          sync.Mutex
-	routes      map[string]string // content hash -> routing key
-	owners      map[string]string // routing key (prefix hash) -> backend URL last serving it
-	routeCap    int
-	reroutes    uint64 // points re-sent after losing a backend
-	softRetries uint64 // same-backend retries after a transient transport error
-	handoffs    uint64 // warm snapshots shipped between backends on reroute or revival
-	rejected    uint64 // submissions refused before any routing
+	// mu guards only the two routing maps; the counters below are atomics
+	// so the submission hot path never takes the coordinator lock.
+	mu       sync.Mutex
+	routes   map[string]string // content hash -> routing key
+	owners   map[string]string // routing key (prefix hash) -> backend URL last serving it
+	routeCap int
+
+	reroutes    atomic.Uint64 // points re-sent after losing a backend
+	softRetries atomic.Uint64 // same-backend retries after a transient transport error
+	handoffs    atomic.Uint64 // warm snapshots shipped between backends on reroute or revival
+	rejected    atomic.Uint64 // submissions refused before any routing
 }
 
 type backend struct {
 	url   string
 	slots chan struct{} // bounded per-backend queue: one token per in-flight request
 
-	mu        sync.Mutex
-	down      bool
-	downSince time.Time
+	// Health state is atomic: routable runs per submission per backend, and
+	// a mutex here would serialize the whole fleet's dispatch on one node's
+	// flapping. downSince is unix nanos; 0 while up.
+	down      atomic.Bool
+	downSince atomic.Int64
 }
 
 // New validates the backend list and returns a coordinator. It does not
@@ -96,9 +105,13 @@ func New(cfg Config) (*Coordinator, error) {
 	if revive <= 0 {
 		revive = 15 * time.Second
 	}
+	// One keep-alive transport for all three clients: run/extend traffic,
+	// health/stats probes, and stream proxying pool their connections
+	// per-backend, capped at the per-backend in-flight depth.
+	transport := service.NewTransport(depth)
 	client := cfg.Client
 	if client == nil {
-		client = &http.Client{Timeout: 15 * time.Minute}
+		client = &http.Client{Timeout: 15 * time.Minute, Transport: transport}
 	}
 	routeCap := cfg.RouteEntries
 	if routeCap <= 0 {
@@ -106,8 +119,8 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	c := &Coordinator{
 		client:      client,
-		probe:       &http.Client{Timeout: 10 * time.Second},
-		stream:      &http.Client{},
+		probe:       &http.Client{Timeout: 10 * time.Second, Transport: transport},
+		stream:      &http.Client{Transport: transport},
 		traces:      obs.NewRing(0),
 		reviveAfter: revive,
 		routes:      make(map[string]string),
@@ -167,16 +180,12 @@ func (c *Coordinator) rendezvous(key string) []*backend {
 // skipped until ReviveAfter has elapsed, after which one /healthz probe
 // decides whether it rejoins the routing order or waits another interval.
 func (c *Coordinator) routable(b *backend) bool {
-	b.mu.Lock()
-	if !b.down {
-		b.mu.Unlock()
+	if !b.down.Load() {
 		return true
 	}
-	if time.Since(b.downSince) < c.reviveAfter {
-		b.mu.Unlock()
+	if time.Since(time.Unix(0, b.downSince.Load())) < c.reviveAfter {
 		return false
 	}
-	b.mu.Unlock()
 	if c.healthy(b.url) {
 		b.setDown(false)
 		return true
@@ -196,18 +205,14 @@ func (c *Coordinator) healthy(url string) bool {
 }
 
 func (b *backend) setDown(down bool) {
-	b.mu.Lock()
-	b.down = down
 	if down {
-		b.downSince = time.Now()
+		b.downSince.Store(time.Now().UnixNano())
 	}
-	b.mu.Unlock()
+	b.down.Store(down)
 }
 
 func (b *backend) isDown() bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.down
+	return b.down.Load()
 }
 
 // callClass is what a backend's answer means for routing.
@@ -285,7 +290,9 @@ func (c *Coordinator) call(b *backend, path string, body []byte, tr *obs.Trace) 
 		// produce different bytes.
 		return service.Result{}, callLost, fmt.Errorf("cluster: backend %s: bad response: %w", b.url, err)
 	}
-	return service.Result{Hash: wr.Hash, Cached: wr.Cached, Report: wr.Report}, callOK, nil
+	// The backend's body already is the canonical response envelope, so the
+	// coordinator's HTTP layer forwards it verbatim instead of re-encoding.
+	return service.Result{Hash: wr.Hash, Cached: wr.Cached, Report: wr.Report, Envelope: data}, callOK, nil
 }
 
 // translateStatus converts a backend's non-2xx answer back into the service
@@ -317,9 +324,7 @@ func (c *Coordinator) submitKey(key, path string, body []byte, tr *obs.Trace) (s
 		c.maybeHandoff(key, b, tr)
 		res, class, err := c.call(b, path, body, tr)
 		if class == callLost {
-			c.mu.Lock()
-			c.softRetries++
-			c.mu.Unlock()
+			c.softRetries.Add(1)
 			// Jittered backoff so a fleet of coordinator goroutines does not
 			// re-hit a briefly-choking backend in lockstep.
 			time.Sleep(time.Duration(50+rand.Intn(100)) * time.Millisecond)
@@ -335,9 +340,7 @@ func (c *Coordinator) submitKey(key, path string, body []byte, tr *obs.Trace) (s
 			lastBusy = err
 		case callLost:
 			b.setDown(true)
-			c.mu.Lock()
-			c.reroutes++
-			c.mu.Unlock()
+			c.reroutes.Add(1)
 			tr.Mark("reroute", b.url)
 			sawLost = true
 			lastErr = err
@@ -391,9 +394,7 @@ func (c *Coordinator) maybeHandoff(key string, target *backend, tr *obs.Trace) {
 	io.Copy(io.Discard, post.Body)
 	post.Body.Close()
 	if post.StatusCode == http.StatusOK {
-		c.mu.Lock()
-		c.handoffs++
-		c.mu.Unlock()
+		c.handoffs.Add(1)
 	}
 }
 
@@ -440,9 +441,7 @@ func (c *Coordinator) submit(sp *scenario.Spec, tr *obs.Trace) (service.Result, 
 		err = sp.CheckBudget()
 	}
 	if err != nil {
-		c.mu.Lock()
-		c.rejected++
-		c.mu.Unlock()
+		c.rejected.Add(1)
 		return service.Result{}, err
 	}
 	res, err := c.submitKey(prefix, "/run", canon, tr)
@@ -505,9 +504,7 @@ func (c *Coordinator) extend(hash string, measureSec float64, tr *obs.Trace) (se
 		case callBusy, callLost:
 			if class == callLost {
 				b.setDown(true)
-				c.mu.Lock()
-				c.reroutes++
-				c.mu.Unlock()
+				c.reroutes.Add(1)
 				tr.Mark("reroute", b.url)
 			}
 			incomplete = true
@@ -703,12 +700,10 @@ func (c *Coordinator) Stats() Stats {
 		out.StoreQuarantined += bs.Stats.StoreQuarantined
 		out.TraceDropped += bs.Stats.TraceDropped
 	}
-	c.mu.Lock()
-	out.Reroutes = c.reroutes
-	out.SoftRetries = c.softRetries
-	out.SnapshotHandoffs = c.handoffs
-	out.Rejected = c.rejected
-	c.mu.Unlock()
+	out.Reroutes = c.reroutes.Load()
+	out.SoftRetries = c.softRetries.Load()
+	out.SnapshotHandoffs = c.handoffs.Load()
+	out.Rejected = c.rejected.Load()
 	return out
 }
 

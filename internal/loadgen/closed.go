@@ -64,7 +64,12 @@ func ClosedLoop(cfg ClosedConfig) int {
 		return int(float64(i+1)*freshFrac) > int(float64(i)*freshFrac)
 	}
 
-	client := service.NewClient(cfg.URL, nil)
+	// Idle pool sized to the client count: every closed-loop goroutine keeps
+	// one connection alive for the whole run.
+	client := service.NewClient(cfg.URL, &http.Client{
+		Timeout:   60 * time.Second,
+		Transport: service.NewTransport(cfg.Clients),
+	})
 	statsBefore, backends, err := client.Stats()
 	if err != nil {
 		fmt.Fprintln(cfg.Errw, "loadgen: daemon not reachable:", err)
@@ -113,7 +118,10 @@ func ClosedLoop(cfg ClosedConfig) int {
 					body, _ = json.Marshal(sp)
 				}
 				t0 := time.Now()
-				_, err := client.RunBytes(body)
+				// Drain-only: the loop counts outcomes and times requests, it
+				// never reads reports, and client-side decoding would bill
+				// loadgen CPU against the daemon on a shared machine.
+				err := client.Issue(http.MethodPost, "/run", body)
 				h.Observe(time.Since(t0).Microseconds())
 				if err != nil {
 					failures.Add(1)
@@ -190,7 +198,10 @@ func SweepOnce(url string, n int, out, errw io.Writer) int {
 
 	// Sweeps simulate for real, so allow far more than the default
 	// request timeout.
-	client := service.NewClient(url, &http.Client{Timeout: 30 * time.Minute})
+	client := service.NewClient(url, &http.Client{
+		Timeout:   30 * time.Minute,
+		Transport: service.NewTransport(4),
+	})
 	start := time.Now()
 	points, err := client.Sweep(req)
 	if err != nil {

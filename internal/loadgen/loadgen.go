@@ -244,7 +244,7 @@ func RunPlan(ctx context.Context, cfg Config, plan *Plan) (*Result, error) {
 	}
 	client := cfg.Client
 	if client == nil {
-		client = service.NewClient(cfg.URL, &http.Client{Timeout: cfg.Timeout})
+		client = NewTunedClient(cfg.URL, cfg.Timeout, cfg.MaxInflight)
 	}
 
 	if !cfg.SkipPriming {
@@ -332,22 +332,28 @@ dispatch:
 	return res, runErr
 }
 
-// issue sends one planned event through the typed client, discarding the
-// payload (the harness measures, it does not read reports).
+// NewTunedClient builds the generator's service client: per-request
+// timeout plus a keep-alive transport whose idle pool is sized to the
+// in-flight cap, so a saturated run reuses maxInflight connections instead
+// of churning through dials (the stdlib default keeps only two idle per
+// host).
+func NewTunedClient(url string, timeout time.Duration, maxInflight int) *service.Client {
+	return service.NewClient(url, &http.Client{
+		Timeout:   timeout,
+		Transport: service.NewTransport(maxInflight),
+	})
+}
+
+// issue sends one planned event through the typed client's drain-only
+// path — the harness measures, it does not read reports, and decoding
+// every response would bill loadgen CPU against the server under test on
+// a shared machine.
 func issue(c *service.Client, ev Event) error {
 	switch {
-	case ev.Path == "/run":
-		_, err := c.RunBytes(ev.Body)
-		return err
-	case ev.Path == "/extend":
-		_, err := c.ExtendBytes(ev.Body)
-		return err
-	case ev.Path == "/sweep":
-		_, err := c.SweepBytes(ev.Body)
-		return err
+	case ev.Path == "/run" || ev.Path == "/extend" || ev.Path == "/sweep":
+		return c.Issue(http.MethodPost, ev.Path, ev.Body)
 	case strings.HasPrefix(ev.Path, "/series/"):
-		_, err := c.Series(strings.TrimPrefix(ev.Path, "/series/"))
-		return err
+		return c.Issue(http.MethodGet, ev.Path, nil)
 	default:
 		return fmt.Errorf("loadgen: plan event with unknown path %q", ev.Path)
 	}

@@ -102,9 +102,18 @@ func Search(ctx context.Context, sc SearchConfig) (*SearchResult, error) {
 		return nil, fmt.Errorf("loadgen: search needs a positive p99 SLO, got %g ms", sc.SLOP99Ms)
 	}
 	res := &SearchResult{SLOP99Ms: sc.SLOP99Ms}
+	// One tuned client for the whole search: probes at different rates reuse
+	// the same keep-alive pool instead of re-dialing MaxInflight connections
+	// per probe (RunPlan would otherwise build a fresh client each time).
+	shared := sc.Load.withDefaults()
+	searchClient := shared.Client
+	if searchClient == nil {
+		searchClient = NewTunedClient(shared.URL, shared.Timeout, shared.MaxInflight)
+	}
 	probeIdx := uint64(0)
 	probe := func(rate float64) (Probe, error) {
 		cfg := sc.Load
+		cfg.Client = searchClient
 		cfg.Rate = rate
 		cfg.Duration = sc.ProbeDuration
 		cfg.Seed = mix64(sc.Load.Seed, 0x5ea2c4+probeIdx)

@@ -78,72 +78,86 @@ func (e *Expo) HistVals(name, labels string, h *stats.Histogram, scale float64) 
 	e.Val(name+"_count", labels, float64(h.Count()))
 }
 
-// HTTPMetrics records per-endpoint request durations into histograms and
-// exposes them as one labeled family. The mux wraps its handlers with
-// Observe; WriteProm runs at scrape time on clones, so recording never
-// waits on a scrape.
+// HTTPMetrics records per-endpoint request durations into sharded
+// histograms and exposes them as one labeled family. Timed resolves an
+// endpoint's shard set once at mux-build time, so the per-request record
+// is one sharded Observe — no registry lock, no map probe. WriteProm
+// merges shards at scrape time; endpoints registered but never hit are
+// skipped, so the exposition is identical to the old lazily-registered
+// form.
 type HTTPMetrics struct {
 	mu    sync.Mutex
 	order []string
-	hists map[string]*stats.Histogram
+	hists map[string]*stats.ShardedHistogram
 }
 
 // NewHTTPMetrics returns an empty recorder.
 func NewHTTPMetrics() *HTTPMetrics {
-	return &HTTPMetrics{hists: make(map[string]*stats.Histogram)}
+	return &HTTPMetrics{hists: make(map[string]*stats.ShardedHistogram)}
+}
+
+// handle returns endpoint's histogram, registering it on first use.
+func (m *HTTPMetrics) handle(endpoint string) *stats.ShardedHistogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.hists[endpoint]
+	if !ok {
+		h = stats.NewShardedHistogram()
+		m.hists[endpoint] = h
+		m.order = append(m.order, endpoint)
+	}
+	return h
 }
 
 // Observe records one request's duration under its endpoint label.
 func (m *HTTPMetrics) Observe(endpoint string, d time.Duration) {
-	m.mu.Lock()
-	h, ok := m.hists[endpoint]
-	if !ok {
-		h = stats.NewHistogram()
-		m.hists[endpoint] = h
-		m.order = append(m.order, endpoint)
-	}
-	h.Observe(d.Microseconds())
-	m.mu.Unlock()
+	m.handle(endpoint).Observe(d.Microseconds())
 }
 
 // Quantile returns one endpoint's latency quantile in microseconds (0 when
 // the endpoint was never hit).
 func (m *HTTPMetrics) Quantile(endpoint string, p float64) float64 {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	h, ok := m.hists[endpoint]
+	m.mu.Unlock()
 	if !ok {
 		return 0
 	}
-	return h.Quantile(p)
+	return h.Snapshot().Quantile(p)
 }
 
 // WriteProm writes the a4_http_request_duration_seconds family, one label
-// set per endpoint in first-observed order.
+// set per hit endpoint in registration order.
 func (m *HTTPMetrics) WriteProm(w io.Writer) {
 	m.mu.Lock()
 	order := append([]string(nil), m.order...)
-	clones := make(map[string]*stats.Histogram, len(m.hists))
+	merged := make(map[string]*stats.Histogram, len(m.hists))
 	for ep, h := range m.hists {
-		clones[ep] = h.Clone()
+		merged[ep] = h.Snapshot()
 	}
 	m.mu.Unlock()
-	if len(order) == 0 {
-		return
-	}
-	e := NewExpo(w)
+	var e *Expo
 	const name = "a4_http_request_duration_seconds"
-	e.Family(name, "histogram")
 	for _, ep := range order {
-		e.HistVals(name, Label("endpoint", ep), clones[ep], 1e6)
+		h := merged[ep]
+		if h.Count() == 0 {
+			continue // registered by Timed but never hit: keep it out of the scrape
+		}
+		if e == nil {
+			e = NewExpo(w)
+			e.Family(name, "histogram")
+		}
+		e.HistVals(name, Label("endpoint", ep), h, 1e6)
 	}
 }
 
-// Timed wraps an HTTP handler to record its duration under endpoint.
+// Timed wraps an HTTP handler to record its duration under endpoint. The
+// histogram is resolved here, once, not per request.
 func (m *HTTPMetrics) Timed(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	hist := m.handle(endpoint)
 	return func(w http.ResponseWriter, req *http.Request) {
 		start := time.Now()
 		h(w, req)
-		m.Observe(endpoint, time.Since(start))
+		hist.Observe(time.Since(start).Microseconds())
 	}
 }

@@ -25,12 +25,31 @@ type Client struct {
 	hc   *http.Client
 }
 
+// NewTransport returns an http.Transport tuned for hammering one daemon
+// with up to maxConns concurrent requests. The stdlib default keeps only
+// two idle connections per host (MaxIdleConnsPerHost=2), so any real
+// concurrency churns through TCP setup and TIME_WAIT sockets; sizing the
+// idle pool to the in-flight cap keeps every connection alive and reused.
+// MaxConnsPerHost bounds total dials at the same cap, so a misbehaving
+// burst queues on the transport instead of stampeding the listener.
+func NewTransport(maxConns int) *http.Transport {
+	if maxConns <= 0 {
+		maxConns = 64
+	}
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConnsPerHost = maxConns
+	t.MaxConnsPerHost = maxConns
+	t.MaxIdleConns = 0 // no global cap; the per-host caps govern
+	return t
+}
+
 // NewClient returns a client for the daemon at base. A nil hc gets a
-// 60-second-timeout client, enough for cache hits and budget-bounded runs;
-// callers issuing long sweeps should pass their own.
+// 60-second-timeout client over a keep-alive transport sized for 64
+// concurrent requests, enough for cache hits and budget-bounded runs;
+// callers issuing long sweeps or higher concurrency should pass their own.
 func NewClient(base string, hc *http.Client) *Client {
 	if hc == nil {
-		hc = &http.Client{Timeout: 60 * time.Second}
+		hc = &http.Client{Timeout: 60 * time.Second, Transport: NewTransport(0)}
 	}
 	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
 }
@@ -115,10 +134,13 @@ func (c *Client) Series(hash string) ([]byte, error) {
 
 // SeriesStream opens the run's live SSE stream (GET /series/<hash>/stream)
 // and hands the caller the raw body to scan. The stream outlives any
-// sensible request timeout, so it always uses a timeout-free client over
-// the same transport.
+// sensible request timeout, so it uses a copy of the caller's client with
+// only the overall timeout cleared — transport, redirect policy, and
+// cookie jar all survive the clone (copying just the Transport used to
+// silently drop them).
 func (c *Client) SeriesStream(hash string) (io.ReadCloser, error) {
-	sc := &http.Client{Transport: c.hc.Transport}
+	sc := *c.hc
+	sc.Timeout = 0
 	resp, err := sc.Get(c.base + "/series/" + hash + "/stream")
 	if err != nil {
 		return nil, err
@@ -156,6 +178,37 @@ func (c *Client) Stats() (Stats, int, error) {
 // Healthz probes liveness; a draining or dead daemon returns an error.
 func (c *Client) Healthz() error {
 	_, err := c.do(http.MethodGet, "/healthz", nil)
+	return err
+}
+
+// Issue sends one pre-rendered request and drains the response without
+// decoding or retaining it — the load-generator hot path, where only the
+// outcome matters and per-request JSON decoding would bill client CPU to
+// the server under test. Non-2xx answers go through ErrFromStatus exactly
+// like the typed methods, so callers classify failures identically.
+func (c *Client) Issue(method, path string, body []byte) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		return ErrFromStatus(resp.StatusCode, data)
+	}
+	// Drain fully so the keep-alive connection is reusable.
+	_, err = io.Copy(io.Discard, io.LimitReader(resp.Body, maxClientResponseBytes))
 	return err
 }
 

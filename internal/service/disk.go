@@ -20,21 +20,21 @@ import (
 // re-execution — the disk accelerates restarts and handoffs, it is never
 // trusted over the simulator.
 
-// diskResultLocked serves hash from the durable store, repopulating the LRU
-// so subsequent retrievals stay in memory. Caller holds s.mu; the held-lock
-// file read is deliberate — objects are small, reads are verified-and-done,
-// and this path only runs after a memory miss that would otherwise cost a
-// multi-second execution.
-func (s *Service) diskResultLocked(hash string) (Result, bool) {
+// diskResult serves hash from the durable store, repopulating the LRU so
+// subsequent retrievals stay in memory. Objects are small and reads are
+// verified-and-done; this path only runs after a memory miss that would
+// otherwise cost a multi-second execution. Safe to call with fmu held (the
+// cache put nests fmu -> cache.mu, the one permitted nesting).
+func (s *Service) diskResult(hash string) (Result, bool) {
 	data, ok := s.disk.Get(store.KindReport, hash)
 	if !ok {
 		return Result{}, false
 	}
 	spec, _ := s.disk.Get(store.KindSpec, hash)
 	series, _ := s.disk.Get(store.KindSeries, hash)
-	s.stats.StoreHits++
-	s.cache.put(hash, data, spec, series, nil)
-	return Result{Hash: hash, Cached: true, Report: data}, true
+	s.ctr.storeHits.Add(1)
+	e := s.cache.put(hash, data, spec, series, nil)
+	return Result{Hash: hash, Cached: true, Report: data, Envelope: e.hitBody}, true
 }
 
 // snapWrap is the on-disk and on-wire framing of a warm snapshot: how many

@@ -69,6 +69,16 @@ type SeriesStreamer interface {
 	ServeSeriesStream(w http.ResponseWriter, req *http.Request, hash string)
 }
 
+// BodyRunner is the optional repeat-body fast path a Runner may implement
+// (the local Service does): RunCachedBody serves a /run whose exact body
+// bytes were seen before and whose result is resident, skipping spec
+// parsing and hashing; RememberBody feeds it after a full-path success.
+// Sound because body -> (spec, hash) is deterministic.
+type BodyRunner interface {
+	RunCachedBody(body []byte, tr *obs.Trace) (Result, bool)
+	RememberBody(body []byte, hash string)
+}
+
 // NewMux serves r over the a4serve HTTP API. stats supplies the /stats
 // payload: a Stats for a local service, a merged cluster view for a
 // coordinator. healthy, when non-nil, gates /healthz: a false return serves
@@ -99,19 +109,29 @@ func NewMux(r Runner, stats func() any, healthy func() bool) *http.ServeMux {
 			tc.TraceRing().Add(tr)
 		}
 	}
+	br, _ := r.(BodyRunner)
 	mux.HandleFunc("POST /run", hm.Timed("run", func(w http.ResponseWriter, req *http.Request) {
 		body, err := readBody(w, req)
 		if err != nil {
 			httpError(w, bodyErrStatus(err), err.Error())
 			return
 		}
+		// Repeat-body fast path: a body seen before whose result is still
+		// cached skips parse+hash entirely. The trace begins first so the
+		// fast path's cache_hit mark lands in the ring like any other hit.
+		tr := beginTrace(w, req)
+		defer endTrace(tr)
+		if br != nil {
+			if res, ok := br.RunCachedBody(body, tr); ok {
+				writeResult(w, res)
+				return
+			}
+		}
 		sp, err := scenario.Parse(body)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		tr := beginTrace(w, req)
-		defer endTrace(tr)
 		// No explicit Validate here: Submit's hashing validates the spec
 		// and StatusForErr maps the rejection to 422.
 		var res Result
@@ -123,6 +143,9 @@ func NewMux(r Runner, stats func() any, healthy func() bool) *http.ServeMux {
 		if err != nil {
 			httpError(w, StatusForErr(err), err.Error())
 			return
+		}
+		if br != nil {
+			br.RememberBody(body, res.Hash)
 		}
 		writeResult(w, res)
 	}))
@@ -295,11 +318,30 @@ type ExtendRequest struct {
 }
 
 func writeResult(w http.ResponseWriter, res Result) {
-	writeJSON(w, map[string]any{
-		"hash":   res.Hash,
-		"cached": res.Cached,
-		"report": json.RawMessage(res.Report),
-	})
+	body := res.Envelope
+	if body == nil {
+		body = encodeResultEnvelope(res.Hash, res.Cached, res.Report)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// encodeResultEnvelope renders the /run and /extend response body without
+// going through encoding/json: the three keys in their (sorted) marshal
+// order plus the json.Encoder trailing newline. Byte-identical to
+// writeJSON of the equivalent map — the report is already canonical
+// (HTML-escaped) JSON and the hash is hex, so no re-escaping can differ —
+// and pinned against the encoder by TestEncodeResultEnvelopeMatchesJSON.
+func encodeResultEnvelope(hash string, cached bool, report []byte) []byte {
+	buf := make([]byte, 0, len(report)+len(hash)+32)
+	buf = append(buf, `{"cached":`...)
+	buf = strconv.AppendBool(buf, cached)
+	buf = append(buf, `,"hash":"`...)
+	buf = append(buf, hash...)
+	buf = append(buf, `","report":`...)
+	buf = append(buf, report...)
+	buf = append(buf, '}', '\n')
+	return buf
 }
 
 // readBody reads a request body under the 1 MiB cap; MaxBytesReader

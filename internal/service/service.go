@@ -5,6 +5,14 @@
 // fully identifies its report, so serving a cached or deduplicated result
 // is indistinguishable from re-running the scenario — that invariant is
 // what makes the cache sound, and internal/service's tests pin it.
+//
+// Concurrency model (DESIGN.md §17): the serving path holds no global
+// lock. The job queue, the in-flight flight map, and the result cache each
+// have their own lock; the counters are atomics snapshotted at /stats
+// scrape time; the queue-wait histogram is sharded. The lock-ordering rule
+// is flat: fmu may be held while taking the cache's lock, and nothing else
+// nests — qmu, the cache lock, and the snapshot/store/trace locks are all
+// leaves.
 package service
 
 import (
@@ -14,6 +22,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"a4sim/internal/harness"
@@ -83,6 +92,22 @@ type Stats struct {
 	TraceDropped int64 `json:"trace_dropped"`
 }
 
+// counters are the live form of Stats: independent atomics, so a /run can
+// bump hits while a /stats scrape sums and an execution bumps misses, with
+// no shared lock. Snapshots are per-field (not cross-field consistent),
+// which monotonic counters tolerate by construction.
+type counters struct {
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	dedups        atomic.Uint64
+	executions    atomic.Uint64
+	errors        atomic.Uint64
+	snapshotForks atomic.Uint64
+	storeHits     atomic.Uint64
+	queued        atomic.Int64
+	traceDropped  atomic.Int64
+}
+
 // Result is one served submission.
 type Result struct {
 	// Hash is the spec's content address.
@@ -94,13 +119,25 @@ type Result struct {
 	// Report is the canonical report encoding; byte-identical for equal
 	// hashes.
 	Report []byte
+	// Envelope, when non-nil, is the complete pre-encoded HTTP response
+	// body ({"cached":...,"hash":...,"report":...} plus trailing newline)
+	// for this result. The hot paths fill it — cache hits carry the
+	// encode-once bytes stored beside the report, executions encode once
+	// for submitter and all deduplicated waiters, a coordinator forwards
+	// the backend's body verbatim — so the HTTP layer writes it out with
+	// zero per-request marshalling. Nil falls back to encoding from the
+	// other fields; the bytes are identical either way.
+	Envelope []byte
 }
 
 // flight is one in-progress execution that concurrent identical
-// submissions wait on.
+// submissions wait on. report/body/err are written only by the executing
+// job (or failFlight) before done is closed; waiters read them only after
+// <-done, so the channel close is the only synchronization needed.
 type flight struct {
 	done   chan struct{}
 	report []byte
+	body   []byte // pre-encoded cached:false response envelope
 	err    error
 }
 
@@ -110,13 +147,32 @@ type Service struct {
 	maxQueue int
 	wg       sync.WaitGroup
 
-	mu       sync.Mutex
-	work     *sync.Cond // signals queue growth or close
-	queue    []func()
+	// closed is checked lock-free at submission entry; it is only ever set
+	// under qmu so the set serializes with enqueues (see Close).
+	closed atomic.Bool
+
+	// qmu guards the job queue; work signals queue growth or close.
+	qmu   sync.Mutex
+	work  *sync.Cond
+	queue []func()
+
+	// fmu guards the in-flight map. The register path re-checks the result
+	// cache under fmu (jobs publish to the cache before clearing their
+	// flight), so a submission can never miss both.
+	fmu      sync.Mutex
 	inflight map[string]*flight
-	cache    *lruCache
-	stats    Stats
-	closed   bool
+
+	// cache is the result LRU; internally synchronized, read path never
+	// blocks on writers (sync.RWMutex + atomic recency stamps).
+	cache *lruCache
+
+	// memo maps exact request body bytes to the content hash they parse
+	// to — Parse and Hash are deterministic, so the mapping is immutable
+	// and repeat bodies (the dominant traffic class) skip spec decoding
+	// and hashing entirely.
+	memo *bodyMemo
+
+	ctr counters
 
 	// snaps caches warm simulation state for prefix-shared continuation;
 	// nil when disabled. It has its own lock: snapshot forking is heavy and
@@ -127,9 +183,9 @@ type Service struct {
 	// the service runs memory-only.
 	disk *store.Store
 
-	// queueWait records each job's enqueue-to-start wait (µs), guarded by
-	// s.mu like the counters it sits beside.
-	queueWait *stats.Histogram
+	// queueWait records each job's enqueue-to-start wait (µs); sharded so
+	// concurrent job starts don't contend, merged at scrape time.
+	queueWait *stats.ShardedHistogram
 	// traces retains finished request traces for GET /trace/<id>; streams
 	// fans live series rows out to GET /series/<hash>/stream subscribers.
 	// Both have their own (short-hold) locks.
@@ -156,8 +212,9 @@ func New(cfg Config) *Service {
 		maxQueue:  maxQueue,
 		inflight:  make(map[string]*flight),
 		cache:     newLRUCache(entries),
+		memo:      newBodyMemo(),
 		disk:      cfg.Store,
-		queueWait: stats.NewHistogram(),
+		queueWait: stats.NewShardedHistogram(),
 		traces:    obs.NewRing(cfg.TraceEntries),
 		streams:   obs.NewSeriesHub(),
 	}
@@ -168,8 +225,7 @@ func New(cfg Config) *Service {
 		}
 		s.snaps = newSnapStore(se)
 	}
-	s.work = sync.NewCond(&s.mu)
-	s.stats.Workers = w
+	s.work = sync.NewCond(&s.qmu)
 	for i := 0; i < w; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -181,35 +237,37 @@ func New(cfg Config) *Service {
 // empty — accepted jobs always execute, so no Submit waiter is stranded.
 func (s *Service) worker() {
 	defer s.wg.Done()
-	s.mu.Lock()
+	s.qmu.Lock()
 	for {
-		for len(s.queue) == 0 && !s.closed {
+		for len(s.queue) == 0 && !s.closed.Load() {
 			s.work.Wait()
 		}
 		if len(s.queue) == 0 {
-			s.mu.Unlock()
+			s.qmu.Unlock()
 			return
 		}
 		job := s.queue[0]
 		s.queue[0] = nil // release the closure (and its Spec clone) promptly
 		s.queue = s.queue[1:]
-		s.mu.Unlock()
+		s.qmu.Unlock()
 		job()
-		s.mu.Lock()
+		s.qmu.Lock()
 	}
 }
 
 // Close stops accepting submissions and waits for the pool to finish every
-// job already accepted (running or queued), so no waiter is stranded.
+// job already accepted (running or queued), so no waiter is stranded. The
+// closed flag is set under qmu: an enqueue and the close serialize, so a
+// job is either rejected with ErrClosed or guaranteed a worker drains it.
 func (s *Service) Close() {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	s.qmu.Lock()
+	if s.closed.Load() {
+		s.qmu.Unlock()
 		return
 	}
-	s.closed = true
+	s.closed.Store(true)
 	s.work.Broadcast()
-	s.mu.Unlock()
+	s.qmu.Unlock()
 	s.wg.Wait()
 }
 
@@ -260,6 +318,34 @@ func (s *Service) TraceJSON(id string) ([]byte, bool) {
 	return t.JSON(), true
 }
 
+// RunCachedBody serves a /run whose exact body bytes have been seen before
+// and whose result is still resident — the fleet-of-clients steady state —
+// without parsing, validating, or hashing the spec. Sound because Parse,
+// CheckBudget, and Hash are pure functions of the bytes: a body that
+// previously parsed to hash H parses to H forever. Returns false (and
+// touches nothing) whenever the full path must run.
+func (s *Service) RunCachedBody(body []byte, tr *obs.Trace) (Result, bool) {
+	if s.closed.Load() {
+		return Result{}, false // let submit report ErrClosed
+	}
+	hash, ok := s.memo.get(body)
+	if !ok {
+		return Result{}, false
+	}
+	e, ok := s.cache.get(hash)
+	if !ok {
+		return Result{}, false
+	}
+	s.ctr.hits.Add(1)
+	tr.Mark("cache_hit", "")
+	return Result{Hash: hash, Cached: true, Report: e.data, Envelope: e.hitBody}, true
+}
+
+// RememberBody records that body parses to hash, feeding RunCachedBody.
+func (s *Service) RememberBody(body []byte, hash string) {
+	s.memo.put(body, hash)
+}
+
 func (s *Service) submit(sp *scenario.Spec, tr *obs.Trace) (Result, error) {
 	hash, err := sp.Hash()
 	if err == nil {
@@ -268,61 +354,58 @@ func (s *Service) submit(sp *scenario.Spec, tr *obs.Trace) (Result, error) {
 		err = sp.CheckBudget()
 	}
 	if err != nil {
-		s.mu.Lock()
-		s.stats.Errors++
-		s.mu.Unlock()
+		s.ctr.errors.Add(1)
 		return Result{}, err
 	}
 
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.closed.Load() {
 		return Result{}, ErrClosed
 	}
-	if rep, ok := s.cache.get(hash); ok {
-		s.stats.Hits++
-		s.mu.Unlock()
+	if e, ok := s.cache.get(hash); ok {
+		s.ctr.hits.Add(1)
 		tr.Mark("cache_hit", "")
-		return Result{Hash: hash, Cached: true, Report: rep}, nil
+		return Result{Hash: hash, Cached: true, Report: e.data, Envelope: e.hitBody}, nil
 	}
+	s.fmu.Lock()
 	if f, ok := s.inflight[hash]; ok {
 		// Coalesce onto the running execution rather than queueing a
 		// duplicate job.
-		s.stats.Dedups++
-		s.mu.Unlock()
+		s.ctr.dedups.Add(1)
+		s.fmu.Unlock()
 		dw := tr.Begin("dedup_wait")
 		<-f.done
 		dw.End()
 		if f.err != nil {
 			return Result{}, f.err
 		}
-		return Result{Hash: hash, Cached: false, Report: f.report}, nil
+		return Result{Hash: hash, Cached: false, Report: f.report, Envelope: f.body}, nil
+	}
+	// The executing job publishes its result to the cache before clearing
+	// its flight, so a submission that missed the cache and then found no
+	// flight re-checks the cache here — under fmu — and cannot miss both.
+	if e, ok := s.cache.get(hash); ok {
+		s.ctr.hits.Add(1)
+		s.fmu.Unlock()
+		tr.Mark("cache_hit", "")
+		return Result{Hash: hash, Cached: true, Report: e.data, Envelope: e.hitBody}, nil
 	}
 	// Disk fallback before scheduling an execution: a restarted (or
 	// memory-evicted) service serves durably stored results instead of
-	// re-simulating them.
+	// re-simulating them. Held under fmu — rare (memory miss), and the
+	// alternative is a multi-second execution.
 	if s.disk != nil {
 		sr := tr.Begin("store_read")
-		res, ok := s.diskResultLocked(hash)
+		res, ok := s.diskResult(hash)
 		sr.End()
 		if ok {
-			s.stats.Hits++
-			s.mu.Unlock()
+			s.ctr.hits.Add(1)
+			s.fmu.Unlock()
 			return res, nil
 		}
 	}
-	// Backpressure: an unbounded queue would let distinct-spec floods grow
-	// memory without limit. Checked before the flight is registered, so no
-	// dedup waiter can attach to a submission that was never accepted.
-	if len(s.queue) >= s.maxQueue {
-		s.stats.Errors++
-		s.mu.Unlock()
-		return Result{}, ErrBusy
-	}
-	s.stats.Misses++
 	f := &flight{done: make(chan struct{})}
 	s.inflight[hash] = f
-	s.stats.Queued++
+	s.fmu.Unlock()
 
 	// The spec may be mutated by the caller after Submit returns for a
 	// deduplicated waiter, so the executing job owns a private copy.
@@ -333,11 +416,9 @@ func (s *Service) submit(sp *scenario.Spec, tr *obs.Trace) (Result, error) {
 		defer close(f.done)
 		qw.End()
 		wait := time.Since(enqueued)
-		s.mu.Lock()
-		s.stats.Queued--
-		s.stats.Executions++
+		s.ctr.queued.Add(-1)
+		s.ctr.executions.Add(1)
 		s.queueWait.Observe(wait.Microseconds())
-		s.mu.Unlock()
 		// A run that records a series streams it: the publisher is live from
 		// before the first simulated second, so a subscriber attaching
 		// mid-run replays from row 0.
@@ -376,17 +457,21 @@ func (s *Service) submit(sp *scenario.Spec, tr *obs.Trace) (Result, error) {
 			s.disk.Put(store.KindReport, hash, data)
 			sw.End()
 		}
-		s.mu.Lock()
-		delete(s.inflight, hash)
 		if err != nil {
-			s.stats.Errors++
+			s.ctr.errors.Add(1)
 			f.err = &RunError{Hash: hash, Err: err}
 		} else {
 			f.report = data
-			s.stats.TraceDropped += evDropped
+			f.body = encodeResultEnvelope(hash, false, data)
+			s.ctr.traceDropped.Add(evDropped)
+			// Publish before clearing the flight (below): between the two, a
+			// new submission either attaches to this flight or hits the
+			// cache, never both-miss.
 			s.cache.put(hash, data, spec, series, &eventLog{events: events, dropped: evDropped})
 		}
-		s.mu.Unlock()
+		s.fmu.Lock()
+		delete(s.inflight, hash)
+		s.fmu.Unlock()
 		// The stream ends only after the cache put: a subscriber that sees
 		// the terminal message can immediately GET /series and find the
 		// stored bytes it should compare against.
@@ -399,18 +484,47 @@ func (s *Service) submit(sp *scenario.Spec, tr *obs.Trace) (Result, error) {
 		}
 	}
 
-	// Still under s.mu from the miss bookkeeping above: enqueue and wake a
-	// worker atomically with the closed check, so an accepted job is
-	// guaranteed to run.
+	// Backpressure and the closed check ride the enqueue lock: an accepted
+	// job is guaranteed a worker (workers drain the queue before exiting),
+	// and a rejected one fails its flight so any dedup waiter that attached
+	// in the window gets the same retryable error.
+	s.qmu.Lock()
+	if s.closed.Load() {
+		s.qmu.Unlock()
+		qw.End()
+		s.failFlight(hash, f, ErrClosed)
+		return Result{}, ErrClosed
+	}
+	if len(s.queue) >= s.maxQueue {
+		s.qmu.Unlock()
+		qw.End()
+		s.ctr.errors.Add(1)
+		s.failFlight(hash, f, ErrBusy)
+		return Result{}, ErrBusy
+	}
+	s.ctr.misses.Add(1)
+	s.ctr.queued.Add(1)
 	s.queue = append(s.queue, job)
 	s.work.Signal()
-	s.mu.Unlock()
+	s.qmu.Unlock()
 
 	<-f.done
 	if f.err != nil {
 		return Result{}, f.err
 	}
-	return Result{Hash: hash, Cached: false, Report: f.report}, nil
+	return Result{Hash: hash, Cached: false, Report: f.report, Envelope: f.body}, nil
+}
+
+// failFlight delivers err to a flight whose job was never enqueued and
+// removes it from the in-flight map (unless a newer flight took the slot).
+func (s *Service) failFlight(hash string, f *flight, err error) {
+	f.err = err
+	s.fmu.Lock()
+	if s.inflight[hash] == f {
+		delete(s.inflight, hash)
+	}
+	s.fmu.Unlock()
+	close(f.done)
 }
 
 // runSpec executes a spec, converting a panic anywhere in the simulator
@@ -499,16 +613,12 @@ func (s *Service) execute(sp *scenario.Spec, tr *obs.Trace, pub *obs.SeriesPub) 
 		// to a plain fresh run.
 		sr := tr.Begin("store_read")
 		if snap, measured, spec, ok = s.diskSnapshot(prefix); ok {
-			s.mu.Lock()
-			s.stats.StoreHits++
-			s.mu.Unlock()
+			s.ctr.storeHits.Add(1)
 		}
 		sr.End()
 	}
 	if ok && measured <= run.MeasureSec {
-		s.mu.Lock()
-		s.stats.SnapshotForks++
-		s.mu.Unlock()
+		s.ctr.snapshotForks.Add(1)
 		fk := tr.Begin("snapshot_fork")
 		sc := snap.Fork()
 		fk.End()
@@ -563,16 +673,14 @@ func (s *Service) extend(hash string, measureSec float64, tr *obs.Trace) (Result
 	if measureSec > scenario.MaxWindowSec {
 		return Result{}, fmt.Errorf("service: extend measure_sec %g exceeds %d", measureSec, scenario.MaxWindowSec)
 	}
-	s.mu.Lock()
 	spec, ok := s.cache.specOf(hash)
 	if !ok && s.disk != nil {
 		// The run may predate this process: rehydrate its index entry from
 		// the durable store, then extend as if it had never left memory.
-		if _, dok := s.diskResultLocked(hash); dok {
+		if _, dok := s.diskResult(hash); dok {
 			spec, ok = s.cache.specOf(hash)
 		}
 	}
-	s.mu.Unlock()
 	if !ok {
 		return Result{}, ErrUnknownHash
 	}
@@ -590,9 +698,7 @@ func (s *Service) extend(hash string, measureSec float64, tr *obs.Trace) (Result
 // rehydrated from disk — event logs are not spilled — or cached before
 // logging existed).
 func (s *Service) TraceEvents(hash string, n int) ([]byte, bool) {
-	s.mu.Lock()
 	events, dropped, ok := s.cache.eventsOf(hash)
-	s.mu.Unlock()
 	if !ok {
 		return nil, false
 	}
@@ -678,13 +784,11 @@ func (c *snapStore) len() int {
 // does not touch the hit/miss counters: those account /run submissions
 // only, and retrieval traffic would distort them.
 func (s *Service) Lookup(hash string) ([]byte, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if rep, ok := s.cache.get(hash); ok {
-		return rep, true
+	if e, ok := s.cache.get(hash); ok {
+		return e.data, true
 	}
 	if s.disk != nil {
-		if res, ok := s.diskResultLocked(hash); ok {
+		if res, ok := s.diskResult(hash); ok {
 			return res.Report, true
 		}
 	}
@@ -696,8 +800,6 @@ func (s *Service) Lookup(hash string) ([]byte, bool) {
 // no series block — either way there is nothing time-resolved to serve.
 // Like Lookup, retrieval does not touch the hit/miss counters.
 func (s *Service) Series(hash string) ([]byte, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if series, ok := s.cache.seriesOf(hash); ok {
 		return series, true
 	}
@@ -705,7 +807,7 @@ func (s *Service) Series(hash string) ([]byte, bool) {
 	// entry without a series means the run recorded none, and disk cannot
 	// know better.
 	if !s.cache.has(hash) && s.disk != nil {
-		if _, ok := s.diskResultLocked(hash); ok {
+		if _, ok := s.diskResult(hash); ok {
 			return s.cache.seriesOf(hash)
 		}
 	}
@@ -714,10 +816,19 @@ func (s *Service) Series(hash string) ([]byte, bool) {
 
 // Stats snapshots the counters.
 func (s *Service) Stats() Stats {
-	s.mu.Lock()
-	st := s.stats
-	st.Entries = s.cache.len()
-	s.mu.Unlock()
+	st := Stats{
+		Hits:          s.ctr.hits.Load(),
+		Misses:        s.ctr.misses.Load(),
+		Dedups:        s.ctr.dedups.Load(),
+		Executions:    s.ctr.executions.Load(),
+		Errors:        s.ctr.errors.Load(),
+		Entries:       s.cache.len(),
+		Workers:       s.workers,
+		Queued:        int(s.ctr.queued.Load()),
+		SnapshotForks: s.ctr.snapshotForks.Load(),
+		StoreHits:     s.ctr.storeHits.Load(),
+		TraceDropped:  s.ctr.traceDropped.Load(),
+	}
 	if s.snaps != nil {
 		st.SnapshotEntries = s.snaps.len()
 	}
@@ -728,24 +839,34 @@ func (s *Service) Stats() Stats {
 	return st
 }
 
-// lruCache is a plain entry-capped LRU: map + recency list, guarded by the
-// service mutex. Each entry carries the report bytes plus the canonical
-// spec that produced them, so /extend can re-derive runs by hash.
+// lruCache is the result cache: an RWMutex-guarded map whose entries are
+// immutable once published (a re-put replaces the entry object), plus an
+// atomic recency stamp per entry. The hot read path takes only the read
+// lock — it never reorders a list or otherwise writes shared state, so
+// concurrent cache hits proceed in parallel and never block behind one
+// another. Eviction (rare: one candidate scan per insert over capacity)
+// happens under the write lock by discarding the minimum-stamp entry —
+// exact LRU semantics, different bookkeeping.
 type lruCache struct {
+	mu    sync.RWMutex
 	cap   int
-	ll    *list.List // front = most recent
-	items map[string]*list.Element
+	clock atomic.Uint64 // global recency stamp source
+	items map[string]*lruEntry
 }
 
+// lruEntry is one cached result. All byte fields are immutable after the
+// entry is published; only the recency stamp is written on reads.
 type lruEntry struct {
-	key    string
-	data   []byte
-	spec   []byte // canonical spec encoding, for Extend
-	series []byte // canonical series encoding, for GET /series/<hash> (nil when not recorded)
+	data    []byte
+	spec    []byte // canonical spec encoding, for Extend
+	series  []byte // canonical series encoding, for GET /series/<hash> (nil when not recorded)
+	hitBody []byte // pre-encoded cached:true response envelope for /run hits
 
 	// events is the controller event log captured when this entry executed
 	// here; nil for entries rehydrated from disk (logs are not spilled).
 	events *eventLog
+
+	used atomic.Uint64 // recency stamp; higher = more recently used
 }
 
 // eventLog is one execution's retained controller events plus how many its
@@ -756,31 +877,45 @@ type eventLog struct {
 }
 
 func newLRUCache(capEntries int) *lruCache {
-	return &lruCache{cap: capEntries, ll: list.New(), items: make(map[string]*list.Element)}
+	return &lruCache{cap: capEntries, items: make(map[string]*lruEntry)}
 }
 
-func (c *lruCache) get(key string) ([]byte, bool) {
-	el, ok := c.items[key]
+// touch refreshes an entry's recency. Stamps come from one atomic clock,
+// so concurrent touches race only over which of two adjacent stamps wins —
+// either order is a correct LRU history.
+func (c *lruCache) touch(e *lruEntry) {
+	e.used.Store(c.clock.Add(1))
+}
+
+// get returns the entry under key, refreshing recency.
+func (c *lruCache) get(key string) (*lruEntry, bool) {
+	c.mu.RLock()
+	e, ok := c.items[key]
+	c.mu.RUnlock()
 	if !ok {
 		return nil, false
 	}
-	c.ll.MoveToFront(el)
-	return el.Value.(*lruEntry).data, true
+	c.touch(e)
+	return e, true
 }
 
 // specOf returns the canonical spec indexed under key without touching
 // recency (an Extend should not pin its source entry hot).
 func (c *lruCache) specOf(key string) ([]byte, bool) {
-	el, ok := c.items[key]
+	c.mu.RLock()
+	e, ok := c.items[key]
+	c.mu.RUnlock()
 	if !ok {
 		return nil, false
 	}
-	return el.Value.(*lruEntry).spec, true
+	return e.spec, true
 }
 
 // has reports whether key is resident, without touching recency.
 func (c *lruCache) has(key string) bool {
+	c.mu.RLock()
 	_, ok := c.items[key]
+	c.mu.RUnlock()
 	return ok
 }
 
@@ -788,50 +923,117 @@ func (c *lruCache) has(key string) bool {
 // recency like get: series retrieval is result traffic, and a series-hot
 // entry should survive eviction exactly as long as a report-hot one.
 func (c *lruCache) seriesOf(key string) ([]byte, bool) {
-	el, ok := c.items[key]
-	if !ok {
+	c.mu.RLock()
+	e, ok := c.items[key]
+	c.mu.RUnlock()
+	if !ok || e.series == nil {
 		return nil, false
 	}
-	c.ll.MoveToFront(el)
-	e := el.Value.(*lruEntry)
-	if e.series == nil {
-		return nil, false
-	}
+	c.touch(e)
 	return e.series, true
 }
 
-func (c *lruCache) put(key string, data, spec, series []byte, events *eventLog) {
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		e := el.Value.(*lruEntry)
-		e.data, e.spec, e.series = data, spec, series
-		if events != nil {
-			// Keep an existing log when re-putting from disk rehydration:
-			// the executed-here log is strictly more informative.
-			e.events = events
+// put publishes a result under key and returns the resident entry. An
+// existing entry is replaced wholesale (entries are immutable), keeping
+// its event log when the incoming one is nil — a disk rehydration must not
+// erase the executed-here log.
+func (c *lruCache) put(key string, data, spec, series []byte, events *eventLog) *lruEntry {
+	e := &lruEntry{
+		data:    data,
+		spec:    spec,
+		series:  series,
+		hitBody: encodeResultEnvelope(key, true, data),
+		events:  events,
+	}
+	c.touch(e)
+	c.mu.Lock()
+	if old, ok := c.items[key]; ok && events == nil {
+		e.events = old.events
+	}
+	c.items[key] = e
+	for len(c.items) > c.cap {
+		c.evictOldestLocked()
+	}
+	c.mu.Unlock()
+	return e
+}
+
+// evictOldestLocked discards the minimum-stamp entry. O(entries), but runs
+// only when an insert exceeds capacity — once per cached execution at
+// steady state, against a capped (default 256) map.
+func (c *lruCache) evictOldestLocked() {
+	var oldestKey string
+	oldest := uint64(math.MaxUint64)
+	for k, e := range c.items {
+		if u := e.used.Load(); u < oldest {
+			oldest = u
+			oldestKey = k
 		}
-		return
 	}
-	c.items[key] = c.ll.PushFront(&lruEntry{key: key, data: data, spec: spec, series: series, events: events})
-	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruEntry).key)
-	}
+	delete(c.items, oldestKey)
 }
 
 // eventsOf returns the controller event log captured at key's execution,
 // without touching recency (event retrieval is diagnostics, not serving).
 func (c *lruCache) eventsOf(key string) ([]trace.Event, int64, bool) {
-	el, ok := c.items[key]
-	if !ok {
-		return nil, 0, false
-	}
-	e := el.Value.(*lruEntry)
-	if e.events == nil {
+	c.mu.RLock()
+	e, ok := c.items[key]
+	c.mu.RUnlock()
+	if !ok || e.events == nil {
 		return nil, 0, false
 	}
 	return e.events.events, e.events.dropped, true
 }
 
-func (c *lruCache) len() int { return c.ll.Len() }
+func (c *lruCache) len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.items)
+}
+
+// bodyMemo is a bounded map from exact request-body bytes to the content
+// hash the body parses to. The mapping is deterministic and therefore
+// never invalidated; the bound only caps memory. Lookups take the read
+// lock and allocate nothing (map[string] probed with a []byte key).
+type bodyMemo struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+const (
+	// memoMaxEntries caps the memo; beyond it an arbitrary entry is
+	// evicted (map iteration order), which is effectively random — fine,
+	// since any entry can be rebuilt by one parse.
+	memoMaxEntries = 4096
+	// memoMaxBody caps memoized body size: popular request bodies are
+	// ~1 KiB, and memoMaxEntries * memoMaxBody bounds worst-case memory.
+	memoMaxBody = 8 << 10
+)
+
+func newBodyMemo() *bodyMemo {
+	return &bodyMemo{m: make(map[string]string)}
+}
+
+func (b *bodyMemo) get(body []byte) (string, bool) {
+	b.mu.RLock()
+	h, ok := b.m[string(body)] // no alloc: map lookup with converted key
+	b.mu.RUnlock()
+	return h, ok
+}
+
+func (b *bodyMemo) put(body []byte, hash string) {
+	if len(body) > memoMaxBody {
+		return
+	}
+	b.mu.Lock()
+	if _, ok := b.m[string(body)]; !ok {
+		for len(b.m) >= memoMaxEntries {
+			for k := range b.m {
+				delete(b.m, k)
+				break
+			}
+		}
+		b.m[string(body)] = hash
+	}
+	b.mu.Unlock()
+}

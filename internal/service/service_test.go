@@ -319,11 +319,18 @@ func TestLRUUnit(t *testing.T) {
 	if _, ok := c.get("b"); ok {
 		t.Error("LRU evicted the recently-used entry instead of the oldest")
 	}
-	if _, ok := c.get("a"); !ok {
+	e, ok := c.get("a")
+	if !ok {
 		t.Error("refreshed entry was evicted")
+	} else if string(e.data) != "1" {
+		t.Errorf("entry data = %q, want %q", e.data, "1")
 	}
 	if c.len() != 2 {
 		t.Errorf("len = %d, want 2", c.len())
+	}
+	// Entries carry their pre-encoded cache-hit response body.
+	if want := string(encodeResultEnvelope("a", true, []byte("1"))); string(e.hitBody) != want {
+		t.Errorf("hitBody = %q, want %q", e.hitBody, want)
 	}
 }
 
@@ -333,9 +340,9 @@ func TestSubmitBackpressure(t *testing.T) {
 
 	// Fill the queue without signalling, so the worker stays asleep (Go
 	// conds have no spurious wakeups) and the state is deterministic.
-	svc.mu.Lock()
+	svc.qmu.Lock()
 	svc.queue = append(svc.queue, func() {})
-	svc.mu.Unlock()
+	svc.qmu.Unlock()
 
 	if _, err := svc.Submit(testSpec(1)); err != ErrBusy {
 		t.Fatalf("got %v, want ErrBusy", err)

@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"sync"
+)
+
+// shardCount is the fixed shard degree of a ShardedHistogram. Eight shards
+// are plenty: the goal is to keep concurrent Observe calls off one mutex,
+// and the merge cost at read time stays O(shards x buckets).
+const shardCount = 8
+
+// ShardedHistogram is a concurrency-friendly wrapper over Histogram for
+// write-hot record paths (per-request latency, queue wait). Each Observe
+// takes one of shardCount independent locks, picked per call from the
+// runtime's per-P random source, so concurrent writers rarely collide.
+// Snapshot merges the shards into one Histogram — Merge is exact and
+// associative, so the merged view is indistinguishable from a single
+// histogram that saw every observation, and downstream encodings
+// (quantiles, Prometheus buckets, canonical JSON) are unchanged.
+type ShardedHistogram struct {
+	shards [shardCount]struct {
+		mu sync.Mutex
+		h  Histogram
+		// Pad each shard to its own cache line so neighbouring locks do
+		// not false-share under concurrent writers.
+		_ [64]byte
+	}
+}
+
+// NewShardedHistogram returns an empty sharded histogram.
+func NewShardedHistogram() *ShardedHistogram { return &ShardedHistogram{} }
+
+// Observe records v into one randomly chosen shard.
+func (s *ShardedHistogram) Observe(v int64) {
+	sh := &s.shards[rand.Uint32()&(shardCount-1)]
+	sh.mu.Lock()
+	sh.h.Observe(v)
+	sh.mu.Unlock()
+}
+
+// Snapshot merges every shard into a freshly allocated Histogram.
+func (s *ShardedHistogram) Snapshot() *Histogram {
+	out := NewHistogram()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		out.Merge(&sh.h)
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Count returns the total observation count across shards.
+func (s *ShardedHistogram) Count() uint64 {
+	var n uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.h.Count()
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -16,73 +16,14 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_$(date +%Y%m%d).json}"
 benchtime="${BENCHTIME:-1x}"
 
-raw=$(go test -run '^$' -bench . -benchtime "$benchtime" .)
-echo "$raw"
-
-# Warm-state reuse: the ratio of the non-forking to the forking sweep
-# runner on the same warm-up-dominated sweep (BenchmarkSweepFork), i.e. the
-# wall-clock reduction the snapshot/fork contract buys.
-fork_speedup=$(echo "$raw" | awk '
-	/^BenchmarkSweepFork\/fresh/  {fresh = $3}
-	/^BenchmarkSweepFork\/forked/ {forked = $3}
-	END { if (fresh > 0 && forked > 0) printf "%.2f", fresh / forked; else printf "0" }')
-echo "sweep_fork_speedup=$fork_speedup"
-
-# Telemetry-plane cost: the relative ns/op difference between a measured
-# second with every extended series group on and the default (core-only)
-# measurement path. Measured in a dedicated multi-iteration pass — the
-# bound is sub-3%, which a single-iteration suite run cannot resolve from
-# noise. Informational; bench_gate.sh does not gate on it.
-series_raw=$(go test -run '^$' -bench '^BenchmarkScenarioSecondSeries$' \
-	-benchtime "${SERIES_BENCHTIME:-4x}" .)
-echo "$series_raw" | grep '^BenchmarkScenarioSecondSeries' || true
-series_overhead=$(echo "$series_raw" | awk '
-	/^BenchmarkScenarioSecondSeries\/off/ {off = $3}
-	/^BenchmarkScenarioSecondSeries\/on/  {on = $3}
-	END { if (off > 0 && on > 0) printf "%.2f", (on - off) * 100 / off; else printf "0" }')
-echo "series_overhead_pct=$series_overhead"
-
-# Observability-plane cost: the relative ns/op difference between a measured
-# second with spans, latency histograms, and live series streaming enabled
-# and the same loop without them (BenchmarkScenarioSecondObs). Same
-# multi-iteration treatment and sub-3% expectation as the series plane;
-# informational, not gated.
-obs_raw=$(go test -run '^$' -bench '^BenchmarkScenarioSecondObs$' \
-	-benchtime "${OBS_BENCHTIME:-4x}" .)
-echo "$obs_raw" | grep '^BenchmarkScenarioSecondObs' || true
-obs_overhead=$(echo "$obs_raw" | awk '
-	/^BenchmarkScenarioSecondObs\/off/ {off = $3}
-	/^BenchmarkScenarioSecondObs\/on/  {on = $3}
-	END { if (off > 0 && on > 0) printf "%.2f", (on - off) * 100 / off; else printf "0" }')
-echo "obs_overhead_pct=$obs_overhead"
-
-# Sampled-execution win: detailed over sampled ns/op for the same measured
-# second (BenchmarkScenarioSecondSampled, default 200 ms detail per 1 s
-# period — ideal 5x). bench_gate.sh fails the build below 1.8x.
-sampled_raw=$(go test -run '^$' -bench '^BenchmarkScenarioSecondSampled$' \
-	-benchtime "${SAMPLED_BENCHTIME:-4x}" .)
-echo "$sampled_raw" | grep '^BenchmarkScenarioSecondSampled' || true
-sampled_speedup=$(echo "$sampled_raw" | awk '
-	/^BenchmarkScenarioSecondSampled\/detailed/ {det = $3}
-	/^BenchmarkScenarioSecondSampled\/sampled/  {smp = $3}
-	END { if (det > 0 && smp > 0) printf "%.2f", det / smp; else printf "0" }')
-echo "sampled_speedup=$sampled_speedup"
-
-# Sampled-mode accuracy: the worst pinned-aggregate relative error between
-# detailed and sampled measurement windows forked from one warm snapshot
-# (TestSampledMatchesDetailedWithinBounds logs one "err N%" per metric).
-# Informational — the test itself enforces the per-metric 5% bounds, so the
-# gate does not read this key; it is recorded for the perf trajectory.
-sampled_error=$(go test -run '^TestSampledMatchesDetailedWithinBounds$' -v ./internal/scenario 2>/dev/null | awk '
-	/ err / {
-		for (i = 2; i <= NF; i++) if ($(i-1) == "err" && $i ~ /%$/) {
-			v = $i; sub(/%/, "", v)
-			if (v + 0 > max) max = v + 0
-		}
-	}
-	END { printf "%.2f", max }')
-echo "sampled_error_pct=$sampled_error"
-
+# The serving and cluster stanzas run FIRST, before the compute
+# benchmarks: the saturation search and the closed-loop pass measure
+# latency against a p99 SLO, and on this 1-vCPU host several minutes of
+# pinned compute measurably depresses the serving numbers that follow it
+# (same build, same commands: sustained 96 rps when measured on a quiet
+# machine vs 0 immediately after the compute phase). Throughput-style
+# compute benchmarks are far less sensitive to ordering, so they take the
+# post-load slot.
 # Serving throughput: start a throwaway daemon, loadgen against it, parse
 # the service_cached_rps line (plus the client-side latency percentiles the
 # loadgen's merged HDR histogram reports). Guarded so a sandboxed
@@ -193,6 +134,95 @@ if [ -x "$serve_bin" ] && [ "$ports_free" = 1 ]; then
 	cluster_pids=""
 fi
 
+
+raw=$(go test -run '^$' -bench . -benchtime "$benchtime" .)
+echo "$raw"
+
+# Warm-state reuse: the ratio of the non-forking to the forking sweep
+# runner on the same warm-up-dominated sweep (BenchmarkSweepFork), i.e. the
+# wall-clock reduction the snapshot/fork contract buys.
+fork_speedup=$(echo "$raw" | awk '
+	/^BenchmarkSweepFork\/fresh/  {fresh = $3}
+	/^BenchmarkSweepFork\/forked/ {forked = $3}
+	END { if (fresh > 0 && forked > 0) printf "%.2f", fresh / forked; else printf "0" }')
+echo "sweep_fork_speedup=$fork_speedup"
+
+# measure_overhead <bench_regex> <benchtime>: run one paired off/on
+# benchmark three times back to back and print each side's best (minimum)
+# ns/op as "off on". A single pass used to race the two sides against VM
+# drift and could report a *negative* overhead (the "on" pass got the
+# quieter slice of the machine); interleaving three full pairs and taking
+# per-side minima measures each side at its least-disturbed and makes the
+# difference meaningful.
+measure_overhead() {
+	local bench="$1" benchtime="$2" pass all=""
+	for _ in 1 2 3; do
+		pass=$(go test -run '^$' -bench "$bench" -benchtime "$benchtime" .)
+		echo "$pass" | grep '^Benchmark' >&2 || true
+		all="$all$pass"$'\n'
+	done
+	echo "$all" | awk '
+		/\/off/ { v = $3; if (off == 0 || v < off) off = v }
+		/\/on/  { v = $3; if (on == 0 || v < on) on = v }
+		END { printf "%s %s", off + 0, on + 0 }'
+}
+
+# clamp_overhead <pct>: overheads below zero are measurement noise by
+# definition (turning telemetry on cannot speed the loop up); clamp to 0
+# and print the annotation recorded next to the clamped value.
+clamp_overhead() {
+	if awk "BEGIN{exit !($1 < 0)}"; then
+		echo "raw $1% is negative (measurement noise); clamped to 0"
+	fi
+}
+
+# Telemetry-plane cost: the relative ns/op difference between a measured
+# second with every extended series group on and the default (core-only)
+# measurement path. Best-of-3 paired passes; sub-3% expected.
+# Informational; bench_gate.sh does not gate on it.
+read -r series_off series_on <<<"$(measure_overhead '^BenchmarkScenarioSecondSeries$' "${SERIES_BENCHTIME:-2x}")"
+series_overhead=$(awk "BEGIN { if ($series_off > 0 && $series_on > 0) printf \"%.2f\", ($series_on - $series_off) * 100 / $series_off; else printf \"0\" }")
+series_note=$(clamp_overhead "$series_overhead")
+[ -n "$series_note" ] && series_overhead=0
+echo "series_overhead_pct=$series_overhead${series_note:+ ($series_note)}"
+
+# Observability-plane cost: the relative ns/op difference between a measured
+# second with spans, latency histograms, and live series streaming enabled
+# and the same loop without them (BenchmarkScenarioSecondObs). Same
+# treatment and expectation as the series plane; informational, not gated.
+read -r obs_off obs_on <<<"$(measure_overhead '^BenchmarkScenarioSecondObs$' "${OBS_BENCHTIME:-2x}")"
+obs_overhead=$(awk "BEGIN { if ($obs_off > 0 && $obs_on > 0) printf \"%.2f\", ($obs_on - $obs_off) * 100 / $obs_off; else printf \"0\" }")
+obs_note=$(clamp_overhead "$obs_overhead")
+[ -n "$obs_note" ] && obs_overhead=0
+echo "obs_overhead_pct=$obs_overhead${obs_note:+ ($obs_note)}"
+
+# Sampled-execution win: detailed over sampled ns/op for the same measured
+# second (BenchmarkScenarioSecondSampled, default 200 ms detail per 1 s
+# period — ideal 5x). bench_gate.sh fails the build below 1.8x.
+sampled_raw=$(go test -run '^$' -bench '^BenchmarkScenarioSecondSampled$' \
+	-benchtime "${SAMPLED_BENCHTIME:-4x}" .)
+echo "$sampled_raw" | grep '^BenchmarkScenarioSecondSampled' || true
+sampled_speedup=$(echo "$sampled_raw" | awk '
+	/^BenchmarkScenarioSecondSampled\/detailed/ {det = $3}
+	/^BenchmarkScenarioSecondSampled\/sampled/  {smp = $3}
+	END { if (det > 0 && smp > 0) printf "%.2f", det / smp; else printf "0" }')
+echo "sampled_speedup=$sampled_speedup"
+
+# Sampled-mode accuracy: the worst pinned-aggregate relative error between
+# detailed and sampled measurement windows forked from one warm snapshot
+# (TestSampledMatchesDetailedWithinBounds logs one "err N%" per metric).
+# Informational — the test itself enforces the per-metric 5% bounds, so the
+# gate does not read this key; it is recorded for the perf trajectory.
+sampled_error=$(go test -run '^TestSampledMatchesDetailedWithinBounds$' -v ./internal/scenario 2>/dev/null | awk '
+	/ err / {
+		for (i = 2; i <= NF; i++) if ($(i-1) == "err" && $i ~ /%$/) {
+			v = $i; sub(/%/, "", v)
+			if (v + 0 > max) max = v + 0
+		}
+	}
+	END { printf "%.2f", max }')
+echo "sampled_error_pct=$sampled_error"
+
 # Convert `BenchmarkName  N  1234 ns/op  5.6 metric ...` lines to JSON.
 {
 	echo '{'
@@ -207,7 +237,9 @@ fi
 	echo "  \"cluster_sweep_rps\": ${cluster_rps},"
 	echo "  \"sweep_fork_speedup\": ${fork_speedup},"
 	echo "  \"series_overhead_pct\": ${series_overhead},"
+	echo "  \"series_overhead_note\": \"${series_note}\","
 	echo "  \"obs_overhead_pct\": ${obs_overhead},"
+	echo "  \"obs_overhead_note\": \"${obs_note}\","
 	echo "  \"sampled_speedup\": ${sampled_speedup},"
 	echo "  \"sampled_error_pct\": ${sampled_error},"
 	echo '  "benchmarks": {'

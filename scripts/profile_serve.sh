@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# profile_serve.sh — capture CPU, mutex, and block profiles of a4serve
+# under open-loop load: build both binaries, start a throwaway daemon with
+# -pprof, run a fixed-rate a4load pass while the CPU profile records, then
+# a short saturation search, and leave the pprof files plus both load
+# reports in the output directory. The evidence PERF.md's serving-path
+# sections are written from.
+#
+# Usage: scripts/profile_serve.sh [outdir]
+#   PROFILE_PORT=8061 PROFILE_RATE=96 PROFILE_DURATION=10s scripts/profile_serve.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+outdir="${1:-prof_$(date +%Y%m%d_%H%M%S)}"
+port="${PROFILE_PORT:-8061}"
+rate="${PROFILE_RATE:-96}"
+duration="${PROFILE_DURATION:-10s}"
+workers="${PROFILE_WORKERS:-4}"
+base="http://127.0.0.1:$port"
+
+mkdir -p "$outdir"
+serve_bin=$(mktemp -t a4serve.XXXXXX)
+load_bin=$(mktemp -t a4load.XXXXXX)
+serve_pid=""
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$serve_bin" "$load_bin"' EXIT
+
+if curl -sf "$base/healthz" >/dev/null 2>&1; then
+	echo "profile_serve.sh: port $port already serving; refusing to profile a stale daemon" >&2
+	exit 1
+fi
+go build -o "$serve_bin" ./cmd/a4serve
+go build -o "$load_bin" ./cmd/a4load
+
+"$serve_bin" -addr "127.0.0.1:$port" -workers "$workers" -pprof \
+	> "$outdir/daemon.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 50); do
+	curl -sf "$base/healthz" >/dev/null 2>&1 && break
+	sleep 0.2
+done
+curl -sf "$base/healthz" >/dev/null || {
+	echo "profile_serve.sh: daemon did not come up (see $outdir/daemon.log)" >&2
+	exit 1
+}
+
+# Fixed-rate pass with the CPU profile recording over the same window: the
+# profile covers steady-state serving, not ramp-up. The curl runs in the
+# background so load and capture overlap.
+cpu_secs=$(awk "BEGIN { d = \"$duration\"; sub(/s\$/, \"\", d); print int(d + 2) }")
+curl -s "$base/debug/pprof/profile?seconds=$cpu_secs" -o "$outdir/cpu.pprof" &
+cpu_curl=$!
+"$load_bin" -url "$base" -rate "$rate" -duration "$duration" -arrival poisson \
+	-seed 1 -json "$outdir/load_fixed.json" | tee "$outdir/load_fixed.log"
+wait "$cpu_curl"
+
+# Contention evidence accumulated across the run so far.
+curl -s "$base/debug/pprof/mutex" -o "$outdir/mutex.pprof"
+curl -s "$base/debug/pprof/block" -o "$outdir/block.pprof"
+
+# Saturation search against the now-warm daemon: where the knee is today.
+"$load_bin" -url "$base" -search -slo-p99-ms "${PROFILE_SLO_P99_MS:-100}" \
+	-seed 1 -min-rate 8 -max-rate 1024 -probe 3s -tol 0.25 \
+	-json "$outdir/search.json" | tee "$outdir/search.log"
+
+# Post-search contention snapshot (includes the saturation probes).
+curl -s "$base/debug/pprof/mutex" -o "$outdir/mutex_after_search.pprof"
+curl -s "$base/debug/pprof/block" -o "$outdir/block_after_search.pprof"
+
+kill "$serve_pid" 2>/dev/null || true
+serve_pid=""
+
+echo "profile_serve.sh: wrote $outdir/{cpu,mutex,block}.pprof and load reports"
+echo "  inspect with: go tool pprof -top $outdir/cpu.pprof"
